@@ -1,0 +1,118 @@
+package resilience
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper, each regenerating the artifact through the experiment
+// runners, plus micro-benchmarks of the core kernels. Scale is selected
+// with RES_SCALE (tiny|ci|paper, default tiny so `go test -bench=.`
+// completes quickly; use ci to reproduce EXPERIMENTS.md).
+//
+//	go test -bench=BenchmarkFig5 -benchmem
+//	RES_SCALE=ci go test -bench=. -benchtime=1x -timeout 2h
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func benchScale() string {
+	if s := os.Getenv("RES_SCALE"); s != "" {
+		return s
+	}
+	return "tiny"
+}
+
+// benchExperiment runs one paper artifact per iteration and reports its
+// output on the first run.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(id, scale)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 && testing.Verbose() {
+			fmt.Println(res.String())
+		}
+	}
+}
+
+// --- paper artifacts ----------------------------------------------------
+
+func BenchmarkFig1MTBFProjection(b *testing.B)      { benchExperiment(b, "fig1") }
+func BenchmarkFig3RecoveryCost(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkFig4CGConstruction(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkTable3Catalog(b *testing.B)           { benchExperiment(b, "tab3") }
+func BenchmarkTable4Parallelism(b *testing.B)       { benchExperiment(b, "tab4") }
+func BenchmarkFig5IterationsPerMatrix(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6ResidualHistories(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7DVFSSavings(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkTable5ResilienceCost(b *testing.B)    { benchExperiment(b, "tab5") }
+func BenchmarkFig8BestScheme(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkTable6ModelValidation(b *testing.B)   { benchExperiment(b, "tab6") }
+func BenchmarkFig9WeakScaling(b *testing.B)         { benchExperiment(b, "fig9") }
+
+// --- ablations (extensions beyond the paper) ----------------------------
+
+func BenchmarkAblationCkptInterval(b *testing.B)     { benchExperiment(b, "ablation-interval") }
+func BenchmarkAblationLocalTol(b *testing.B)         { benchExperiment(b, "ablation-tol") }
+func BenchmarkAblationDVFSFloor(b *testing.B)        { benchExperiment(b, "ablation-dvfs") }
+func BenchmarkAblationTMR(b *testing.B)              { benchExperiment(b, "ablation-tmr") }
+func BenchmarkAblationJacobiPCG(b *testing.B)        { benchExperiment(b, "ablation-pcg") }
+func BenchmarkAblationMultilevelCkpt(b *testing.B)   { benchExperiment(b, "ablation-multilevel") }
+func BenchmarkAblationSDCLatency(b *testing.B)       { benchExperiment(b, "ablation-sdc") }
+func BenchmarkAblationPipelinedCG(b *testing.B)      { benchExperiment(b, "ablation-pipeline") }
+func BenchmarkAblationConstructionCost(b *testing.B) { benchExperiment(b, "ablation-construction") }
+
+// --- kernel micro-benchmarks --------------------------------------------
+
+func BenchmarkSolveFaultFree(b *testing.B) {
+	a := Laplacian2D(48)
+	rhs, _ := RHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Solve(a, rhs, SolveOptions{Ranks: 8, Tol: 1e-10})
+		if err != nil || !rep.Converged {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveWithLIRecovery(b *testing.B) {
+	a := Laplacian2D(48)
+	rhs, _ := RHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Solve(a, rhs, SolveOptions{Scheme: "LI-DVFS", Ranks: 8, Tol: 1e-10, Faults: 3})
+		if err != nil || !rep.Converged {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveWithCheckpointing(b *testing.B) {
+	a := Laplacian2D(48)
+	rhs, _ := RHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Solve(a, rhs, SolveOptions{Scheme: "CR-M", Ranks: 8, Tol: 1e-10, Faults: 3, CkptEvery: 25})
+		if err != nil || !rep.Converged {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	a := Laplacian2D(128) // 16K rows, ~80K nnz
+	x := make([]float64, a.Rows)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.SetBytes(int64(8 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}

@@ -1,0 +1,56 @@
+// Command mtbfproj prints the Figure 1 MTBF projection: estimated system
+// MTBF per fault class for petascale and exascale machines, plus a sweep
+// over intermediate system sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"resilience/internal/fault"
+	"resilience/internal/report"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "also print a node-count sweep of combined MTBF")
+	flag.Parse()
+
+	fmt.Println(classTable().String())
+	fmt.Printf("combined: petascale %.3g h, exascale %.3g h (%.1f min)\n",
+		fault.CombinedSystemMTBF(fault.PetascaleNodes, fault.TechPetascale),
+		fault.CombinedSystemMTBF(fault.ExascaleNodes, fault.TechExascale),
+		fault.CombinedSystemMTBF(fault.ExascaleNodes, fault.TechExascale)*60)
+
+	if *sweep {
+		fmt.Println()
+		fmt.Println(sweepTable().String())
+	}
+}
+
+// classTable builds the per-class Figure 1 projection.
+func classTable() *report.Table {
+	t := report.NewTable("Estimated system MTBF per fault class (Figure 1)",
+		"Class", "Soft/Hard", "Node MTBF petascale (h)", "System MTBF 20K nodes (h)", "System MTBF 1M nodes 11nm (h)")
+	for _, c := range fault.Classes() {
+		kind := "hard"
+		if c.IsSoft() {
+			kind = "soft"
+		}
+		t.AddF(c.String(), kind,
+			fault.NodeMTBF(c, fault.TechPetascale),
+			fault.SystemMTBF(c, fault.PetascaleNodes, fault.TechPetascale),
+			fault.SystemMTBF(c, fault.ExascaleNodes, fault.TechExascale))
+	}
+	return t
+}
+
+// sweepTable builds the combined-MTBF node-count sweep.
+func sweepTable() *report.Table {
+	t := report.NewTable("Combined system MTBF vs node count (11nm technology)",
+		"Nodes", "MTBF (h)", "MTBF (min)")
+	for n := 1024; n <= fault.ExascaleNodes; n *= 4 {
+		m := fault.CombinedSystemMTBF(n, fault.TechExascale)
+		t.AddF(n, m, m*60)
+	}
+	return t
+}

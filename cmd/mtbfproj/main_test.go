@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassTable(t *testing.T) {
+	tb := classTable()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows, want 6 fault classes", len(tb.Rows))
+	}
+	out := tb.String()
+	for _, class := range []string{"DCE", "DUE", "SDC", "SWO", "SNF", "LNF"} {
+		if !strings.Contains(out, class) {
+			t.Errorf("class %s missing", class)
+		}
+	}
+	// Soft/hard labels present.
+	if !strings.Contains(out, "soft") || !strings.Contains(out, "hard") {
+		t.Error("soft/hard labels missing")
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	tb := sweepTable()
+	if len(tb.Rows) < 5 {
+		t.Fatalf("sweep too short: %d rows", len(tb.Rows))
+	}
+	// First column grows, second shrinks.
+	if tb.Rows[0][0] != "1024" {
+		t.Errorf("first node count %q", tb.Rows[0][0])
+	}
+}

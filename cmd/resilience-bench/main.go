@@ -1,0 +1,78 @@
+// Command resilience-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	resilience-bench -exp fig5 -scale ci
+//	resilience-bench -exp all -scale ci -csv out/
+//	resilience-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"resilience"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1..fig9, tab3..tab6, ablation-*) or 'all'")
+	scale := flag.String("scale", "ci", "workload scale: tiny, ci or paper")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range resilience.Experiments() {
+			fmt.Printf("%-18s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, r := range resilience.Experiments() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := resilience.RunExperiment(strings.TrimSpace(id), *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "writing CSV for %s: %v\n", id, err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeCSVs(dir string, res *resilience.ExperimentResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		name := fmt.Sprintf("%s_%d.csv", res.ID, i)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Comparison: run every recovery scheme on one workload and rank them by
+// time, power and energy — a miniature of the paper's Figure 8, which
+// shows the best scheme depends on the workload and on which constraint
+// (time, power or energy) is being optimized.
+//
+//	go run ./examples/comparison [matrix]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"resilience"
+)
+
+func main() {
+	name := "crystm02"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	a, err := resilience.CatalogMatrix(name, "ci")
+	if err != nil {
+		log.Fatalf("%v\navailable: %v", err, resilience.CatalogNames())
+	}
+	b, _ := resilience.RHS(a)
+	fmt.Printf("workload: %s analog (%v), 10 faults, 32 ranks\n\n", name, a)
+
+	ff, err := resilience.Solve(a, b, resilience.SolveOptions{Scheme: "FF", Ranks: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		scheme string
+		iters  float64
+		time   float64
+		power  float64
+		energy float64
+	}
+	var rows []row
+	for _, scheme := range []string{"RD", "F0", "FI", "LI", "LI-DVFS", "LSI", "LSI-DVFS", "CR-M", "CR-D"} {
+		rep, err := resilience.Solve(a, b, resilience.SolveOptions{
+			Scheme: scheme,
+			Ranks:  32,
+			Faults: 10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			scheme: scheme,
+			iters:  float64(rep.Iters) / float64(ff.Iters),
+			time:   rep.Time / ff.Time,
+			power:  rep.AvgPower / ff.AvgPower,
+			energy: rep.Energy / ff.Energy,
+		})
+	}
+
+	fmt.Printf("%-10s %8s %8s %8s %8s   (normalized to fault-free)\n",
+		"scheme", "iters", "time", "power", "energy")
+	for _, r := range rows {
+		fmt.Printf("%-10s %8.3f %8.3f %8.3f %8.3f\n", r.scheme, r.iters, r.time, r.power, r.energy)
+	}
+
+	best := func(metric func(row) float64, label string) {
+		sorted := append([]row(nil), rows...)
+		sort.Slice(sorted, func(i, j int) bool { return metric(sorted[i]) < metric(sorted[j]) })
+		fmt.Printf("best by %-7s %s (%.3fx)\n", label+":", sorted[0].scheme, metric(sorted[0]))
+	}
+	fmt.Println()
+	best(func(r row) float64 { return r.time }, "time")
+	best(func(r row) float64 { return r.power }, "power")
+	best(func(r row) float64 { return r.energy }, "energy")
+}

@@ -1,0 +1,63 @@
+// Powertrace: visualize the cluster power profile of forward recovery
+// with and without DVFS power management — a miniature of the paper's
+// Figure 7(a). During each reconstruction window only the failed rank
+// computes; without DVFS the other cores busy-wait near full power, with
+// DVFS they park at the lowest frequency.
+//
+//	go run ./examples/powertrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"resilience"
+)
+
+func main() {
+	a, err := resilience.CatalogMatrix("nd24k", "ci")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, _ := resilience.RHS(a)
+
+	for _, scheme := range []string{"LI", "LI-DVFS"} {
+		rep, err := resilience.Solve(a, b, resilience.SolveOptions{
+			Scheme:            scheme,
+			Ranks:             24, // one node's worth of cores
+			Faults:            6,
+			KeepPowerSegments: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d iterations, %.4g J, avg %.4g W\n",
+			scheme, rep.Iters, rep.Energy, rep.AvgPower)
+
+		samples := rep.Meter.Timeline(rep.Time / 72)
+		var peak float64
+		for _, s := range samples {
+			if s.Watts > peak {
+				peak = s.Watts
+			}
+		}
+		// Render the power profile as rows of a bar chart over time.
+		const height = 8
+		for level := height; level >= 1; level-- {
+			var sb strings.Builder
+			threshold := peak * float64(level) / float64(height)
+			for _, s := range samples {
+				if s.Watts >= threshold {
+					sb.WriteByte('#')
+				} else {
+					sb.WriteByte(' ')
+				}
+			}
+			fmt.Printf("%6.1fW |%s\n", threshold, sb.String())
+		}
+		fmt.Printf("        +%s time ->\n\n", strings.Repeat("-", len(samples)))
+	}
+	fmt.Println("The dips are reconstruction windows; DVFS deepens them (~0.75x -> ~0.45x),")
+	fmt.Println("cutting energy with no impact on time-to-solution (Section 4.2 of the paper).")
+}

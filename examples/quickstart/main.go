@@ -1,0 +1,58 @@
+// Quickstart: solve a Poisson system with forward recovery under faults.
+//
+// This is the smallest end-to-end use of the library: build an SPD
+// system, pick a recovery scheme, inject a few faults, and read the
+// time/energy/iteration report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resilience"
+)
+
+func main() {
+	// A 64x64 5-point stencil Poisson problem (4096 unknowns).
+	a := resilience.Laplacian2D(64)
+	b, xTrue := resilience.RHS(a)
+
+	// Solve on 16 simulated ranks with the paper's optimized forward
+	// recovery (localized CG construction + DVFS power management),
+	// injecting 5 single-node failures spread over the run.
+	rep, err := resilience.Solve(a, b, resilience.SolveOptions{
+		Scheme: "LI-DVFS",
+		Ranks:  16,
+		Faults: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheme      %s\n", rep.Scheme)
+	fmt.Printf("converged   %v (relative residual %.2g)\n", rep.Converged, rep.RelRes)
+	fmt.Printf("iterations  %d\n", rep.Iters)
+	fmt.Printf("faults      %d\n", len(rep.Faults))
+	fmt.Printf("time        %.4g virtual seconds\n", rep.Time)
+	fmt.Printf("energy      %.4g joules\n", rep.Energy)
+	fmt.Printf("avg power   %.4g watts\n", rep.AvgPower)
+
+	// The solution is the assembled global iterate; verify it against
+	// the known true solution.
+	var maxErr float64
+	for i, v := range rep.Solution {
+		if d := abs(v - xTrue[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("max |x - x_true| = %.3g\n", maxErr)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

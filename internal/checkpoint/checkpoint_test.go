@@ -1,0 +1,144 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resilience/internal/platform"
+)
+
+func TestYoungInterval(t *testing.T) {
+	// I = sqrt(2 * tC * M).
+	if got := YoungInterval(2, 100); math.Abs(got-20) > 1e-12 {
+		t.Errorf("Young got %g want 20", got)
+	}
+}
+
+func TestDalyReducesToYoungForSmallTC(t *testing.T) {
+	// For tC << M, Daly ≈ Young - tC.
+	tC, m := 0.001, 1000.0
+	young := YoungInterval(tC, m)
+	daly := DalyInterval(tC, m)
+	if math.Abs(daly-(young-tC)) > 0.01*young {
+		t.Errorf("Daly %g vs Young %g", daly, young)
+	}
+}
+
+func TestDalyLargeTC(t *testing.T) {
+	if got := DalyInterval(300, 100); got != 100 {
+		t.Errorf("Daly with tC >= 2M must return M, got %g", got)
+	}
+}
+
+// Property: Young's interval minimizes the first-order waste function
+// w(I) = tC/I + I/(2M) over a grid around it.
+func TestQuickYoungOptimal(t *testing.T) {
+	waste := func(i, tC, m float64) float64 { return tC/i + i/(2*m) }
+	f := func(a, b float64) bool {
+		tC := 0.01 + math.Mod(math.Abs(a), 10)
+		m := 10*tC + math.Mod(math.Abs(b), 1000)
+		if math.IsNaN(tC) || math.IsNaN(m) {
+			return true
+		}
+		opt := YoungInterval(tC, m)
+		w0 := waste(opt, tC, m)
+		for _, factor := range []float64{0.5, 0.8, 1.25, 2} {
+			if waste(opt*factor, tC, m) < w0-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalIters(t *testing.T) {
+	if got := IntervalIters(1.0, 0.1); got != 10 {
+		t.Errorf("got %d", got)
+	}
+	if got := IntervalIters(0.001, 1.0); got != 1 {
+		t.Errorf("floor at 1, got %d", got)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	p := FixedPolicy(100)
+	if p.Due(0) || p.Due(99) || !p.Due(100) || !p.Due(200) || p.Due(150) {
+		t.Error("FixedPolicy.Due wrong")
+	}
+	yp := YoungPolicy(0.5, 1000, 0.1)
+	if yp.EveryIters < 1 {
+		t.Error("Young policy interval must be >= 1 iteration")
+	}
+	dp := DalyPolicy(0.5, 1000, 0.1)
+	if dp.EveryIters < 1 || dp.EveryIters > yp.EveryIters {
+		t.Errorf("Daly %d vs Young %d", dp.EveryIters, yp.EveryIters)
+	}
+}
+
+func TestPolicyPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FixedPolicy(0) },
+		func() { YoungInterval(0, 1) },
+		func() { DalyInterval(1, 0) },
+		func() { IntervalIters(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStores(t *testing.T) {
+	plat := platform.Default()
+	mem := MemStore{Plat: plat}
+	disk := DiskStore{Plat: plat}
+	if mem.Name() != "memory" || disk.Name() != "disk" {
+		t.Error("store names")
+	}
+	if !mem.CPUBusy() || disk.CPUBusy() {
+		t.Error("CPU busy semantics")
+	}
+	const bytes = 1 << 20
+	// Disk contends with writers; memory does not.
+	if disk.WriteTime(bytes, 10) <= disk.WriteTime(bytes, 1) {
+		t.Error("disk must contend")
+	}
+	if mem.WriteTime(bytes, 10) != mem.WriteTime(bytes, 1) {
+		t.Error("memory must not contend")
+	}
+	// Memory checkpoints are much cheaper than contended disk ones.
+	if mem.WriteTime(bytes, 192) >= disk.WriteTime(bytes, 192) {
+		t.Error("memory checkpoint should be cheaper than disk")
+	}
+	// Reads cost like writes for both stores.
+	if disk.ReadTime(bytes, 4) != disk.WriteTime(bytes, 4) {
+		t.Error("disk read/write asymmetry")
+	}
+	if mem.ReadTime(bytes, 4) != mem.WriteTime(bytes, 4) {
+		t.Error("memory read/write asymmetry")
+	}
+}
+
+// TestDiskLinearInWriters pins the CR-D property that drives Figure 9:
+// per-checkpoint cost grows linearly with the writer count.
+func TestDiskLinearInWriters(t *testing.T) {
+	plat := platform.Default()
+	disk := DiskStore{Plat: plat}
+	const bytes = 1 << 16
+	base := disk.WriteTime(bytes, 1) - plat.DiskLatency
+	for _, w := range []int{2, 8, 64, 1024} {
+		got := disk.WriteTime(bytes, w) - plat.DiskLatency
+		if math.Abs(got-float64(w)*base) > 1e-9*float64(w)*base {
+			t.Errorf("writers=%d: %g want %g", w, got, float64(w)*base)
+		}
+	}
+}

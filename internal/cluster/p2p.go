@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// mailbox implements matched point-to-point messaging with per-channel
+// FIFO ordering, the semantics block-row CG's halo exchange needs.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[mkey][]message
+	dead   bool
+}
+
+type mkey struct{ from, to, tag int }
+
+type message struct {
+	data   []float64
+	arrive float64 // virtual arrival time at the receiver
+}
+
+func newMailbox(*Runtime) *mailbox {
+	mb := &mailbox{queues: make(map[mkey][]message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) abort() {
+	mb.mu.Lock()
+	mb.dead = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// Send transmits a copy of data to rank `to` with the given tag. The
+// sender's clock advances by the injection cost; the message carries its
+// modeled arrival time.
+func (c *Comm) Send(to, tag int, data []float64) {
+	c.checkAbort()
+	if to < 0 || to >= c.rt.p {
+		panic(fmt.Sprintf("cluster: Send to invalid rank %d", to))
+	}
+	cost := c.rt.plat.P2PTime(int64(8 * len(data)))
+	// The sender is occupied while injecting the message.
+	c.ElapseActive(cost)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	msg := message{data: cp, arrive: c.clock}
+
+	mb := c.rt.mail
+	mb.mu.Lock()
+	k := mkey{from: c.rank, to: to, tag: tag}
+	mb.queues[k] = append(mb.queues[k], msg)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// Recv blocks until a message from rank `from` with the given tag is
+// available, advances the virtual clock to its arrival time (charged at
+// wait power), and returns the payload.
+func (c *Comm) Recv(from, tag int) []float64 {
+	c.checkAbort()
+	if from < 0 || from >= c.rt.p {
+		panic(fmt.Sprintf("cluster: Recv from invalid rank %d", from))
+	}
+	mb := c.rt.mail
+	k := mkey{from: from, to: c.rank, tag: tag}
+	mb.mu.Lock()
+	for len(mb.queues[k]) == 0 && !mb.dead {
+		mb.cond.Wait()
+	}
+	if mb.dead {
+		mb.mu.Unlock()
+		panic(abortPanic{err: fmt.Errorf("cluster: recv on aborted runtime")})
+	}
+	q := mb.queues[k]
+	msg := q[0]
+	if len(q) == 1 {
+		delete(mb.queues, k)
+	} else {
+		mb.queues[k] = q[1:]
+	}
+	mb.mu.Unlock()
+
+	c.advanceTo(msg.arrive)
+	return msg.data
+}
+
+// SendInts / RecvInts move integer payloads (setup-phase exchanges of
+// column index lists).
+func (c *Comm) SendInts(to, tag int, data []int) {
+	f := make([]float64, len(data))
+	for i, v := range data {
+		f[i] = float64(v)
+	}
+	c.Send(to, tag, f)
+}
+
+// RecvInts receives an integer payload sent with SendInts.
+func (c *Comm) RecvInts(from, tag int) []int {
+	f := c.Recv(from, tag)
+	out := make([]int, len(f))
+	for i, v := range f {
+		out[i] = int(v)
+	}
+	return out
+}

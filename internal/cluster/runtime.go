@@ -1,0 +1,130 @@
+// Package cluster is the message-passing substrate that stands in for MPI
+// (offline substitution: no MPI implementation is practical here). Ranks
+// are goroutines exchanging data through typed mailboxes and tree-modeled
+// collectives, exactly as a block-row CG would over MPI.
+//
+// Time is virtual. Every rank owns a clock that advances by modeled costs:
+//
+//	compute:        flops / rate(freq)
+//	point-to-point: alpha + bytes/bandwidth  (LogGP-style)
+//	collectives:    ceil(log2 P) * (alpha + bytes/bandwidth)
+//
+// and synchronizes at collectives to the participants' maximum. This is
+// the standard conservative network simulation (cf. SimGrid/SMPI) and is
+// what lets the repository report time-to-solution and energy-to-solution
+// without the paper's physical testbed.
+//
+// Power: every clock advance is recorded into a power.Meter with the
+// per-core wattage implied by the core's frequency and activity. While a
+// rank waits (for a message or at a collective) it is charged busy-wait
+// power by default, matching MPI's polling progress engines — the paper
+// relies on this to explain why plain LI only drops node power to ~0.75×.
+// Recovery code switches waiting ranks to idle/sleep accounting (and
+// optionally a lower frequency) through SetWaitIdle and SetFreq.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"resilience/internal/platform"
+	"resilience/internal/power"
+)
+
+// Runtime couples P ranks to a platform and a meter for one parallel run.
+type Runtime struct {
+	p     int
+	plat  *platform.Platform
+	meter *power.Meter
+
+	coll *collectiveState
+	mail *mailbox
+
+	abortMu  sync.Mutex
+	abortErr error
+}
+
+// abortPanic is the sentinel carried by panics raised when the run has
+// been aborted by another rank's failure.
+type abortPanic struct{ err error }
+
+// NewRuntime builds a runtime for p ranks.
+func NewRuntime(p int, plat *platform.Platform, meter *power.Meter) *Runtime {
+	if p <= 0 {
+		panic(fmt.Sprintf("cluster: invalid rank count %d", p))
+	}
+	rt := &Runtime{p: p, plat: plat, meter: meter}
+	rt.coll = newCollectiveState(p, rt)
+	rt.mail = newMailbox(rt)
+	return rt
+}
+
+// abort records the first failure and unblocks every waiting rank.
+func (rt *Runtime) abort(err error) {
+	rt.abortMu.Lock()
+	if rt.abortErr == nil {
+		rt.abortErr = err
+	}
+	rt.abortMu.Unlock()
+	rt.coll.abort()
+	rt.mail.abort()
+}
+
+func (rt *Runtime) aborted() error {
+	rt.abortMu.Lock()
+	defer rt.abortMu.Unlock()
+	return rt.abortErr
+}
+
+// Run executes fn on every rank concurrently and waits for completion.
+// The first error (or converted panic) aborts all ranks and is returned.
+// MaxClock afterwards holds the final virtual time.
+func Run(p int, plat *platform.Platform, meter *power.Meter, fn func(c *Comm) error) (maxClock float64, err error) {
+	rt := NewRuntime(p, plat, meter)
+	return rt.Run(fn)
+}
+
+// Run executes fn on every rank of this runtime.
+func (rt *Runtime) Run(fn func(c *Comm) error) (maxClock float64, err error) {
+	var wg sync.WaitGroup
+	clocks := make([]float64, rt.p)
+	errs := make([]error, rt.p)
+	for r := 0; r < rt.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := newComm(rank, rt)
+			defer func() {
+				clocks[rank] = c.clock
+				if rec := recover(); rec != nil {
+					if ap, ok := rec.(abortPanic); ok {
+						errs[rank] = ap.err
+						return
+					}
+					err := fmt.Errorf("cluster: rank %d panicked: %v", rank, rec)
+					errs[rank] = err
+					rt.abort(err)
+				}
+			}()
+			if e := fn(c); e != nil {
+				errs[rank] = e
+				rt.abort(e)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, c := range clocks {
+		if c > maxClock {
+			maxClock = c
+		}
+	}
+	if aerr := rt.aborted(); aerr != nil {
+		return maxClock, aerr
+	}
+	for _, e := range errs {
+		if e != nil {
+			return maxClock, e
+		}
+	}
+	return maxClock, nil
+}

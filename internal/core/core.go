@@ -1,0 +1,459 @@
+// Package core is the paper's contribution assembled: it orchestrates the
+// distributed CG solver, fault injection, a recovery scheme, and power
+// management into one resilient run, and reports the metrics the paper
+// studies — iterations, time-to-solution, average power, and
+// energy-to-solution, with per-phase energy attribution.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resilience/internal/checkpoint"
+	"resilience/internal/cluster"
+	"resilience/internal/fault"
+	"resilience/internal/platform"
+	"resilience/internal/power"
+	"resilience/internal/recovery"
+	"resilience/internal/solver"
+	"resilience/internal/sparse"
+	"resilience/internal/trace"
+)
+
+// SchemeKind enumerates the recovery mechanisms under study (Table 2).
+type SchemeKind int
+
+// The schemes of Table 2, plus the fault-free baseline.
+const (
+	FF SchemeKind = iota // fault-free baseline (no injection)
+	F0
+	FI
+	LI
+	LSI
+	CRM  // checkpoint/restart to memory
+	CRD  // checkpoint/restart to disk
+	CR2L // two-level checkpoint/restart, memory + disk (extension)
+	RD   // dual modular redundancy
+	TMR  // triple modular redundancy (extension)
+)
+
+var kindNames = map[SchemeKind]string{
+	FF: "FF", F0: "F0", FI: "FI", LI: "LI", LSI: "LSI",
+	CRM: "CR-M", CRD: "CR-D", CR2L: "CR-2L", RD: "RD", TMR: "TMR",
+}
+
+func (k SchemeKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("SchemeKind(%d)", int(k))
+}
+
+// SchemeSpec selects and configures a recovery scheme.
+type SchemeSpec struct {
+	Kind SchemeKind
+	// Construct picks the LI/LSI construction: the paper's localized CG
+	// (default) or the exact prior-work LU/QR baseline.
+	Construct recovery.Construction
+	// DVFS enables the Section 4.2 power management for LI/LSI.
+	DVFS bool
+	// LocalTol is the localized construction tolerance (default 1e-6).
+	LocalTol float64
+	// CkptEvery checkpoints every N iterations (CR only). Zero derives
+	// the interval from Young's formula using CkptMTBF.
+	CkptEvery int
+	// CkptMTBF (seconds) feeds Young's formula when CkptEvery is zero.
+	CkptMTBF float64
+	// DiskEvery is the disk-level interval for CR-2L in iterations; zero
+	// defaults to 4x the memory interval.
+	DiskEvery int
+	// UseDaly switches the derived interval to Daly's higher-order
+	// formula (ablation extension).
+	UseDaly bool
+}
+
+// Name returns the presentation name used in the paper's tables.
+func (s SchemeSpec) Name() string {
+	switch s.Kind {
+	case LI, LSI:
+		name := s.Kind.String()
+		if s.Construct == recovery.ConstructExact {
+			if s.Kind == LI {
+				name = "LI(LU)"
+			} else {
+				name = "LSI(QR)"
+			}
+		}
+		if s.DVFS {
+			name += "-DVFS"
+		}
+		return name
+	default:
+		return s.Kind.String()
+	}
+}
+
+// RunConfig describes one resilient solve.
+type RunConfig struct {
+	A  *sparse.CSR
+	B  []float64
+	X0 []float64 // nil = zeros
+
+	Ranks  int
+	Plat   *platform.Platform
+	Scheme SchemeSpec
+
+	// InjectorFactory builds one injector per rank; all instances must be
+	// deterministic and identical (same seed). Nil means fault-free.
+	InjectorFactory func() fault.Injector
+
+	Tol      float64
+	MaxIters int
+	// Jacobi enables diagonal preconditioning of the distributed CG
+	// (extension beyond the paper).
+	Jacobi bool
+	// DetectDelay is the number of iterations a silent data corruption
+	// (SDC) propagates before it is detected and recovery runs. Hard
+	// faults are always detected immediately. Extension beyond the paper,
+	// which assumes prompt detection (Section 3).
+	DetectDelay int
+	// KeepSegments retains power segments for timeline reports (Fig 7a).
+	KeepSegments bool
+	// Trace, when non-nil, receives structured per-iteration and fault/
+	// recovery events (recorded by rank 0).
+	Trace *trace.Trace
+	// Seed drives fault corruption patterns.
+	Seed int64
+}
+
+// RunReport is the outcome of one resilient solve.
+type RunReport struct {
+	Scheme    string
+	Ranks     int
+	Iters     int
+	Converged bool
+	RelRes    float64
+	Restarts  int
+
+	// Time is the virtual time-to-solution in seconds (max over ranks).
+	Time float64
+	// Energy is energy-to-solution in joules, including redundant
+	// hardware (x Redundancy for RD/TMR).
+	Energy float64
+	// AvgPower = Energy / Time, the paper's P metric.
+	AvgPower float64
+	// EnergyByPhase attributes energy to solve/reconstruct/checkpoint/
+	// rollback phases (before the redundancy multiplier).
+	EnergyByPhase map[string]float64
+
+	Faults      []fault.Fault
+	Checkpoints int
+	Redundancy  int
+
+	// History is the relative residual at each iteration (rank 0).
+	History []float64
+	// Solution is the assembled final iterate.
+	Solution []float64
+	// Meter exposes segments when KeepSegments was set.
+	Meter *power.Meter
+}
+
+// buildScheme instantiates the per-rank scheme.
+func buildScheme(cfg *RunConfig, x0Block []float64, ckptPolicy checkpoint.Policy) (recovery.Scheme, error) {
+	switch cfg.Scheme.Kind {
+	case FF:
+		return nil, nil
+	case F0:
+		return &recovery.F0{}, nil
+	case FI:
+		return &recovery.FI{X0: x0Block}, nil
+	case LI:
+		return &recovery.LI{
+			Construct: cfg.Scheme.Construct,
+			DVFS:      cfg.Scheme.DVFS,
+			LocalTol:  cfg.Scheme.LocalTol,
+		}, nil
+	case LSI:
+		return &recovery.LSI{
+			Construct: cfg.Scheme.Construct,
+			DVFS:      cfg.Scheme.DVFS,
+			LocalTol:  cfg.Scheme.LocalTol,
+		}, nil
+	case CRM:
+		return &recovery.CR{Store: checkpoint.MemStore{Plat: cfg.Plat}, Policy: ckptPolicy, X0: x0Block}, nil
+	case CRD:
+		return &recovery.CR{Store: checkpoint.DiskStore{Plat: cfg.Plat}, Policy: ckptPolicy, X0: x0Block}, nil
+	case CR2L:
+		diskEvery := cfg.Scheme.DiskEvery
+		if diskEvery == 0 {
+			diskEvery = 4 * ckptPolicy.EveryIters
+		}
+		s := &recovery.CR2L{
+			Mem:        checkpoint.MemStore{Plat: cfg.Plat},
+			Disk:       checkpoint.DiskStore{Plat: cfg.Plat},
+			MemPolicy:  ckptPolicy,
+			DiskPolicy: checkpoint.FixedPolicy(diskEvery),
+			X0:         x0Block,
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case RD:
+		return &recovery.RD{Replicas: 2}, nil
+	case TMR:
+		return &recovery.RD{Replicas: 3}, nil
+	}
+	return nil, fmt.Errorf("core: unknown scheme kind %v", cfg.Scheme.Kind)
+}
+
+// resMonitor wires fault injection and recovery into the CG iteration.
+type resMonitor struct {
+	cfg      *RunConfig
+	scheme   recovery.Scheme
+	injector fault.Injector
+	rng      *rand.Rand
+	faults   []fault.Fault
+	pending  []pendingFault
+}
+
+// pendingFault is an injected-but-undetected silent corruption.
+type pendingFault struct {
+	f   fault.Fault
+	due int
+}
+
+func (m *resMonitor) BeforeIteration(it *solver.Iter) (bool, error) {
+	if m.cfg.Trace != nil && it.C.Rank() == 0 {
+		relres := 0.0
+		if it.State.NormB > 0 && it.State.Rho >= 0 {
+			relres = math.Sqrt(it.State.Rho) / it.State.NormB
+		}
+		m.cfg.Trace.Add(trace.Event{
+			Kind: trace.Iteration, Iter: it.K, Clock: it.C.Clock(), RelRes: relres,
+		})
+	}
+	if m.injector == nil {
+		return false, nil
+	}
+	restart := false
+	// Drain every fault due at this iteration: simultaneous failures on
+	// multiple processes recover back-to-back within one boundary. The
+	// clock is sampled once, before any recovery runs: ranks' clocks are
+	// only guaranteed equal at the boundary itself, and every rank must
+	// make identical injection decisions.
+	clock := it.C.Clock()
+	ctx := &recovery.Ctx{C: it.C, Op: it.Op, St: it.State, Plat: m.cfg.Plat}
+	for {
+		f := m.injector.Check(it.K, clock)
+		if f == nil {
+			break
+		}
+		m.faults = append(m.faults, *f)
+		if m.cfg.Trace != nil && it.C.Rank() == 0 {
+			m.cfg.Trace.Add(trace.Event{
+				Kind: trace.FaultEvent, Iter: it.K, Clock: clock, Detail: f.String(),
+			})
+		}
+		if m.scheme == nil {
+			// FF with an injector configured is a configuration error.
+			return false, fmt.Errorf("core: fault injected but no recovery scheme configured")
+		}
+		// Destroy/corrupt the dynamic data on the struck rank (Fig. 2b).
+		if it.C.Rank() == f.Rank {
+			fault.Apply(fault.EffectOf(f.Class), it.State.X, m.rng)
+		}
+		// Silent corruptions propagate until detected (DetectDelay
+		// iterations later); everything else recovers immediately.
+		if f.Class == fault.SDC && m.cfg.DetectDelay > 0 {
+			m.pending = append(m.pending, pendingFault{f: *f, due: it.K + m.cfg.DetectDelay})
+			continue
+		}
+		r, err := m.scheme.Recover(ctx, *f)
+		if err != nil {
+			return false, err
+		}
+		if m.cfg.Trace != nil && it.C.Rank() == 0 {
+			m.cfg.Trace.Add(trace.Event{
+				Kind: trace.RecoveryEvent, Iter: it.K, Clock: it.C.Clock(),
+				Detail: m.scheme.Name(),
+			})
+		}
+		restart = restart || r
+	}
+	// Recover any silent corruption whose detection is due.
+	if len(m.pending) > 0 {
+		keep := m.pending[:0]
+		for _, p := range m.pending {
+			if it.K < p.due {
+				keep = append(keep, p)
+				continue
+			}
+			r, err := m.scheme.Recover(ctx, p.f)
+			if err != nil {
+				return false, err
+			}
+			restart = restart || r
+		}
+		m.pending = keep
+	}
+	return restart, nil
+}
+
+func (m *resMonitor) AfterIteration(it *solver.Iter) error {
+	if m.scheme == nil {
+		return nil
+	}
+	ctx := &recovery.Ctx{C: it.C, Op: it.Op, St: it.State, Plat: m.cfg.Plat}
+	return m.scheme.AfterIteration(ctx, it.K)
+}
+
+// EstimateIterTime approximates the fault-free per-iteration virtual time
+// of distributed CG on this configuration: one SpMV plus vector work plus
+// three collectives. It feeds Young's formula.
+func EstimateIterTime(a *sparse.CSR, ranks int, plat *platform.Platform) float64 {
+	flopsPerRank := (2*int64(a.NNZ()) + 12*int64(a.Rows)) / int64(ranks)
+	t := plat.ComputeTime(flopsPerRank, plat.FreqMax)
+	t += 3 * plat.CollectiveTime(8, ranks)
+	// Halo exchange: a handful of neighbor messages.
+	t += 4 * plat.P2PTime(8*int64(a.Rows/ranks/8+1))
+	return t
+}
+
+// ckptPolicy resolves the checkpoint policy for a run.
+func ckptPolicy(cfg *RunConfig, maxBlockRows int) (checkpoint.Policy, error) {
+	s := cfg.Scheme
+	if s.Kind != CRM && s.Kind != CRD && s.Kind != CR2L {
+		return checkpoint.Policy{}, nil
+	}
+	if s.CkptEvery > 0 {
+		return checkpoint.FixedPolicy(s.CkptEvery), nil
+	}
+	if s.CkptMTBF <= 0 {
+		return checkpoint.Policy{}, fmt.Errorf("core: CR scheme needs CkptEvery or CkptMTBF")
+	}
+	var store checkpoint.Store
+	if s.Kind == CRM || s.Kind == CR2L {
+		store = checkpoint.MemStore{Plat: cfg.Plat}
+	} else {
+		store = checkpoint.DiskStore{Plat: cfg.Plat}
+	}
+	tC := store.WriteTime(int64(8*maxBlockRows), cfg.Ranks)
+	iterSec := EstimateIterTime(cfg.A, cfg.Ranks, cfg.Plat)
+	if s.UseDaly {
+		return checkpoint.DalyPolicy(tC, s.CkptMTBF, iterSec), nil
+	}
+	return checkpoint.YoungPolicy(tC, s.CkptMTBF, iterSec), nil
+}
+
+// Run executes one resilient solve and reports its metrics.
+func Run(cfg RunConfig) (*RunReport, error) {
+	if cfg.A == nil || cfg.A.Rows != cfg.A.Cols || len(cfg.B) != cfg.A.Rows {
+		return nil, fmt.Errorf("core: invalid system (A %v, len(b)=%d)", cfg.A, len(cfg.B))
+	}
+	if cfg.Ranks <= 0 || cfg.Ranks > cfg.A.Rows {
+		return nil, fmt.Errorf("core: invalid rank count %d for n=%d", cfg.Ranks, cfg.A.Rows)
+	}
+	if cfg.Plat == nil {
+		cfg.Plat = platform.Default()
+	}
+	if err := cfg.Plat.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-12
+	}
+
+	part := sparse.NewPartition(cfg.A.Rows, cfg.Ranks)
+	policy, err := ckptPolicy(&cfg, part.Size(0))
+	if err != nil {
+		return nil, err
+	}
+
+	meter := power.NewMeter(cfg.KeepSegments)
+	results := make([]*solver.Result, cfg.Ranks)
+	monitors := make([]*resMonitor, cfg.Ranks)
+	schemes := make([]recovery.Scheme, cfg.Ranks)
+
+	maxClock, err := cluster.Run(cfg.Ranks, cfg.Plat, meter, func(c *cluster.Comm) error {
+		var x0Block []float64
+		if cfg.X0 != nil {
+			x0Block = append([]float64(nil), part.Slice(cfg.X0, c.Rank())...)
+		}
+		scheme, err := buildScheme(&cfg, x0Block, policy)
+		if err != nil {
+			return err
+		}
+		schemes[c.Rank()] = scheme
+		mon := &resMonitor{
+			cfg:    &cfg,
+			scheme: scheme,
+			rng:    rand.New(rand.NewSource(cfg.Seed + 7919)),
+		}
+		if cfg.InjectorFactory != nil {
+			mon.injector = cfg.InjectorFactory()
+		}
+		monitors[c.Rank()] = mon
+
+		res, err := solver.CG(c, cfg.A, cfg.B, part, solver.Options{
+			Tol:                cfg.Tol,
+			MaxIters:           cfg.MaxIters,
+			Monitor:            mon,
+			VerifyTrueResidual: true,
+			X0:                 cfg.X0,
+			Jacobi:             cfg.Jacobi,
+		})
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r0 := results[0]
+	report := &RunReport{
+		Scheme:        cfg.Scheme.Name(),
+		Ranks:         cfg.Ranks,
+		Iters:         r0.Iters,
+		Converged:     r0.Converged,
+		RelRes:        r0.RelRes,
+		Restarts:      r0.Restarts,
+		Time:          maxClock,
+		EnergyByPhase: meter.EnergyByPhase(),
+		History:       r0.History,
+		Faults:        monitors[0].faults,
+		Redundancy:    1,
+	}
+	if s := schemes[0]; s != nil {
+		report.Redundancy = s.Redundancy()
+		switch sc := s.(type) {
+		case *recovery.CR:
+			report.Checkpoints = sc.Writes
+		case *recovery.CR2L:
+			report.Checkpoints = sc.MemWrites + sc.DiskWrites
+		}
+	}
+	report.Solution = make([]float64, cfg.A.Rows)
+	for r := 0; r < cfg.Ranks; r++ {
+		copy(part.Slice(report.Solution, r), results[r].XLocal)
+	}
+	report.Energy = meter.TotalEnergy() * float64(report.Redundancy)
+	if report.Time > 0 {
+		report.AvgPower = report.Energy / report.Time
+	}
+	if cfg.KeepSegments {
+		report.Meter = meter
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Add(trace.Event{
+			Kind: trace.ConvergedEvent, Iter: report.Iters, Clock: report.Time,
+			RelRes: report.RelRes,
+			Detail: fmt.Sprintf("converged=%t", report.Converged),
+		})
+	}
+	return report, nil
+}

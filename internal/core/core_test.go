@@ -1,0 +1,510 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/fault"
+	"resilience/internal/matgen"
+	"resilience/internal/platform"
+	"resilience/internal/recovery"
+	"resilience/internal/trace"
+	"resilience/internal/vec"
+)
+
+// testSystem builds a small well-understood SPD system.
+func testSystem(t *testing.T) (cfg RunConfig, xTrue []float64) {
+	t.Helper()
+	a := matgen.Laplacian2D(16) // 256 rows
+	b, xt := matgen.RHS(a)
+	return RunConfig{
+		A:        a,
+		B:        b,
+		Ranks:    4,
+		Plat:     platform.Default(),
+		Tol:      1e-10,
+		MaxIters: 4000,
+		Seed:     1,
+	}, xt
+}
+
+func checkSolution(t *testing.T, rep *RunReport, xTrue []float64, tol float64) {
+	t.Helper()
+	if !rep.Converged {
+		t.Fatalf("%s did not converge: relres=%g iters=%d", rep.Scheme, rep.RelRes, rep.Iters)
+	}
+	if d := vec.Dist2(rep.Solution, xTrue) / vec.Nrm2(xTrue); d > tol {
+		t.Fatalf("%s solution error %g > %g", rep.Scheme, d, tol)
+	}
+}
+
+func TestFaultFreeRun(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, rep, xTrue, 1e-6)
+	if rep.Time <= 0 {
+		t.Errorf("non-positive time %g", rep.Time)
+	}
+	if rep.Energy <= 0 {
+		t.Errorf("non-positive energy %g", rep.Energy)
+	}
+	if rep.AvgPower <= 0 {
+		t.Errorf("non-positive power %g", rep.AvgPower)
+	}
+	if len(rep.Faults) != 0 {
+		t.Errorf("fault-free run reported %d faults", len(rep.Faults))
+	}
+}
+
+// TestAllSchemesRecover injects faults under every scheme and checks the
+// solver still reaches the correct solution.
+func TestAllSchemesRecover(t *testing.T) {
+	specs := []SchemeSpec{
+		{Kind: F0},
+		{Kind: FI},
+		{Kind: LI, Construct: recovery.ConstructCG},
+		{Kind: LI, Construct: recovery.ConstructExact},
+		{Kind: LI, Construct: recovery.ConstructCG, DVFS: true},
+		{Kind: LSI, Construct: recovery.ConstructCG},
+		{Kind: LSI, Construct: recovery.ConstructExact},
+		{Kind: LSI, Construct: recovery.ConstructCG, DVFS: true},
+		{Kind: CRM, CkptEvery: 25},
+		{Kind: CRD, CkptEvery: 25},
+		{Kind: RD},
+		{Kind: TMR},
+	}
+	cfg, xTrue := testSystem(t)
+	ffIters := faultFreeIters(t, cfg)
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name(), func(t *testing.T) {
+			c := cfg
+			c.Scheme = spec
+			c.InjectorFactory = func() fault.Injector {
+				return fault.NewSchedule(3, ffIters, c.Ranks, fault.SNF, 42)
+			}
+			rep, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSolution(t, rep, xTrue, 1e-5)
+			if len(rep.Faults) != 3 {
+				t.Errorf("want 3 faults, got %d", len(rep.Faults))
+			}
+		})
+	}
+}
+
+func faultFreeIters(t *testing.T, cfg RunConfig) int {
+	t.Helper()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Iters
+}
+
+func TestRDMatchesFaultFree(t *testing.T) {
+	cfg, _ := testSystem(t)
+	ff, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Scheme = SchemeSpec{Kind: RD}
+	c.InjectorFactory = func() fault.Injector {
+		return fault.NewSchedule(3, ff.Iters, c.Ranks, fault.SNF, 42)
+	}
+	rd, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Iters != ff.Iters {
+		t.Errorf("RD iters %d != FF iters %d", rd.Iters, ff.Iters)
+	}
+	if rd.Redundancy != 2 {
+		t.Errorf("RD redundancy %d != 2", rd.Redundancy)
+	}
+	// Eq. 12: RD draws double power for the whole run.
+	ratio := rd.AvgPower / ff.AvgPower
+	if ratio < 1.9 || ratio > 2.2 {
+		t.Errorf("RD power ratio %g, want ~2", ratio)
+	}
+}
+
+func TestForwardRecoveryBeatsF0(t *testing.T) {
+	cfg, _ := testSystem(t)
+	ffIters := faultFreeIters(t, cfg)
+	iters := func(spec SchemeSpec) int {
+		c := cfg
+		c.Scheme = spec
+		c.InjectorFactory = func() fault.Injector {
+			return fault.NewSchedule(5, ffIters, c.Ranks, fault.SNF, 7)
+		}
+		rep, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Converged {
+			t.Fatalf("%s did not converge", spec.Name())
+		}
+		return rep.Iters
+	}
+	f0 := iters(SchemeSpec{Kind: F0})
+	li := iters(SchemeSpec{Kind: LI})
+	lsi := iters(SchemeSpec{Kind: LSI})
+	if li >= f0 {
+		t.Errorf("LI iterations %d not better than F0 %d", li, f0)
+	}
+	if lsi >= f0 {
+		t.Errorf("LSI iterations %d not better than F0 %d", lsi, f0)
+	}
+	if f0 <= ffIters {
+		t.Errorf("F0 iterations %d should exceed fault-free %d", f0, ffIters)
+	}
+}
+
+func TestCheckpointCountAndRollback(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	ffIters := faultFreeIters(t, cfg)
+	c := cfg
+	c.Scheme = SchemeSpec{Kind: CRM, CkptEvery: 20}
+	c.InjectorFactory = func() fault.Injector {
+		return fault.NewSchedule(2, ffIters, c.Ranks, fault.SNF, 3)
+	}
+	rep, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, rep, xTrue, 1e-5)
+	if rep.Checkpoints == 0 {
+		t.Error("no checkpoints recorded")
+	}
+	if rep.Iters <= ffIters {
+		t.Errorf("CR iterations %d should exceed fault-free %d (rollback recomputation)", rep.Iters, ffIters)
+	}
+}
+
+func TestDVFSReducesEnergy(t *testing.T) {
+	// DVFS pays off when reconstruction is long relative to the frequency
+	// transition latency, so use a larger diagonal block and the exact
+	// (LU) construction, whose n³ cost dominates.
+	cfg, _ := testSystem(t)
+	a := matgen.Laplacian2D(32)
+	cfg.A = a
+	cfg.B, _ = matgen.RHS(a)
+	ffIters := faultFreeIters(t, cfg)
+	run := func(dvfs bool) *RunReport {
+		c := cfg
+		c.Scheme = SchemeSpec{Kind: LI, Construct: recovery.ConstructExact, DVFS: dvfs}
+		c.InjectorFactory = func() fault.Injector {
+			return fault.NewSchedule(5, ffIters, c.Ranks, fault.SNF, 11)
+		}
+		rep, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := run(false)
+	dvfs := run(true)
+	if dvfs.Iters != plain.Iters {
+		t.Errorf("DVFS changed iterations: %d vs %d", dvfs.Iters, plain.Iters)
+	}
+	if dvfs.Energy >= plain.Energy {
+		t.Errorf("LI-DVFS energy %g not below LI energy %g", dvfs.Energy, plain.Energy)
+	}
+}
+
+func TestPoissonInjectorRun(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	ff, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MTBF ~ a fifth of the fault-free runtime: expect a handful of faults.
+	mtbf := ff.Time / 5
+	c := cfg
+	c.Scheme = SchemeSpec{Kind: LI}
+	c.InjectorFactory = func() fault.Injector {
+		return fault.NewPoisson(mtbf, c.Ranks, fault.SNF, 9)
+	}
+	rep, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, rep, xTrue, 1e-5)
+	if len(rep.Faults) == 0 {
+		t.Error("expected Poisson faults, got none")
+	}
+}
+
+// TestSimultaneousFaults schedules several faults at the same iteration:
+// multiple processes fail together and the monitor must drain and recover
+// them all at one boundary.
+func TestSimultaneousFaults(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	c := cfg
+	c.Scheme = SchemeSpec{Kind: LI}
+	c.InjectorFactory = func() fault.Injector {
+		// ffIters=1 forces all scheduled iterations to collapse to 1.
+		return fault.NewSchedule(3, 1, c.Ranks, fault.SNF, 5)
+	}
+	rep, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, rep, xTrue, 1e-5)
+	if len(rep.Faults) != 3 {
+		t.Fatalf("want 3 simultaneous faults, got %d", len(rep.Faults))
+	}
+	if rep.Faults[0].Iter != rep.Faults[2].Iter {
+		t.Errorf("faults not simultaneous: %v", rep.Faults)
+	}
+}
+
+func TestRunReportEnergyConsistency(t *testing.T) {
+	cfg, _ := testSystem(t)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, e := range rep.EnergyByPhase {
+		sum += e
+	}
+	if math.Abs(sum-rep.Energy) > 1e-6*rep.Energy {
+		t.Errorf("phase energies sum %g != total %g", sum, rep.Energy)
+	}
+}
+
+// TestSDCDetectionDelay lets silent corruptions propagate before recovery
+// and checks the run still converges to the right answer, at growing cost.
+func TestSDCDetectionDelay(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	ffIters := faultFreeIters(t, cfg)
+	iters := func(delay int) int {
+		c := cfg
+		c.Scheme = SchemeSpec{Kind: LI}
+		c.DetectDelay = delay
+		c.InjectorFactory = func() fault.Injector {
+			return fault.NewSchedule(2, ffIters, c.Ranks, fault.SDC, 13)
+		}
+		rep, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSolution(t, rep, xTrue, 1e-5)
+		return rep.Iters
+	}
+	prompt := iters(0)
+	delayed := iters(20)
+	if delayed < prompt {
+		t.Errorf("delayed detection (%d iters) cheaper than prompt (%d)", delayed, prompt)
+	}
+}
+
+// TestCR2LScheme runs the two-level scheme end to end through core.
+func TestCR2LScheme(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	ffIters := faultFreeIters(t, cfg)
+	c := cfg
+	c.Scheme = SchemeSpec{Kind: CR2L, CkptEvery: 10, DiskEvery: 40}
+	c.InjectorFactory = func() fault.Injector {
+		return fault.NewScheduleClasses(4, ffIters, c.Ranks,
+			[]fault.Class{fault.SNF, fault.SWO}, 17)
+	}
+	rep, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, rep, xTrue, 1e-5)
+	if rep.Checkpoints == 0 {
+		t.Error("no checkpoints recorded for CR-2L")
+	}
+	if rep.Scheme != "CR-2L" {
+		t.Errorf("scheme name %q", rep.Scheme)
+	}
+}
+
+func TestRunRejectsInvalidConfigs(t *testing.T) {
+	a := matgen.Laplacian2D(8)
+	b, _ := matgen.RHS(a)
+	cases := []RunConfig{
+		{A: nil, B: b, Ranks: 2},
+		{A: a, B: b[:10], Ranks: 2},
+		{A: a, B: b, Ranks: 0},
+		{A: a, B: b, Ranks: a.Rows + 1},
+		{A: a, B: b, Ranks: 2, Scheme: SchemeSpec{Kind: CRM}}, // CR without interval or MTBF
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsFaultsWithoutScheme(t *testing.T) {
+	cfg, _ := testSystem(t)
+	cfg.InjectorFactory = func() fault.Injector {
+		return fault.NewSchedule(1, 10, cfg.Ranks, fault.SNF, 1)
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("FF with injector must be a configuration error")
+	}
+}
+
+func TestYoungPolicyResolution(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	ff, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Scheme = SchemeSpec{Kind: CRD, CkptMTBF: ff.Time / 3}
+	c.InjectorFactory = func() fault.Injector {
+		return fault.NewSchedule(3, ff.Iters, c.Ranks, fault.SNF, 2)
+	}
+	rep, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, rep, xTrue, 1e-5)
+	if rep.Checkpoints == 0 {
+		t.Error("Young policy produced no checkpoints")
+	}
+}
+
+func TestDalyPolicyResolution(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	ff, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Scheme = SchemeSpec{Kind: CRD, CkptMTBF: ff.Time / 3, UseDaly: true}
+	c.InjectorFactory = func() fault.Injector {
+		return fault.NewSchedule(3, ff.Iters, c.Ranks, fault.SNF, 2)
+	}
+	rep, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, rep, xTrue, 1e-5)
+}
+
+func TestSchemeSpecNames(t *testing.T) {
+	cases := map[string]SchemeSpec{
+		"FF":      {Kind: FF},
+		"LI":      {Kind: LI},
+		"LI-DVFS": {Kind: LI, DVFS: true},
+		"LI(LU)":  {Kind: LI, Construct: recovery.ConstructExact},
+		"LSI(QR)": {Kind: LSI, Construct: recovery.ConstructExact},
+		"CR-2L":   {Kind: CR2L},
+		"TMR":     {Kind: TMR},
+	}
+	for want, spec := range cases {
+		if got := spec.Name(); got != want {
+			t.Errorf("Name()=%q want %q", got, want)
+		}
+	}
+}
+
+func TestJacobiRunConverges(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+	cfg.Jacobi = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, rep, xTrue, 1e-6)
+}
+
+func TestEstimateIterTimePositive(t *testing.T) {
+	a := matgen.Laplacian2D(16)
+	est := EstimateIterTime(a, 4, platform.Default())
+	if est <= 0 {
+		t.Errorf("estimate %g", est)
+	}
+	// More ranks per fixed problem: less compute per rank but more
+	// collective latency; the estimate stays positive and finite.
+	est2 := EstimateIterTime(a, 16, platform.Default())
+	if est2 <= 0 || math.IsInf(est2, 0) {
+		t.Errorf("estimate %g", est2)
+	}
+}
+
+func TestTraceRecordsRun(t *testing.T) {
+	cfg, _ := testSystem(t)
+	tr := trace.New()
+	cfg.Trace = tr
+	cfg.Scheme = SchemeSpec{Kind: LI}
+	cfg.InjectorFactory = func() fault.Injector {
+		return fault.NewSchedule(2, 40, cfg.Ranks, fault.SNF, 3)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatal("did not converge")
+	}
+	if got := len(tr.Filter(trace.FaultEvent)); got != 2 {
+		t.Errorf("%d fault events, want 2", got)
+	}
+	if got := len(tr.Filter(trace.RecoveryEvent)); got != 2 {
+		t.Errorf("%d recovery events, want 2", got)
+	}
+	if len(tr.Filter(trace.Iteration)) < rep.Iters/2 {
+		t.Error("too few iteration events")
+	}
+	conv := tr.Filter(trace.ConvergedEvent)
+	if len(conv) != 1 || conv[0].Iter != rep.Iters {
+		t.Errorf("converged event %v", conv)
+	}
+	// Residual series decreases overall.
+	_, rs := tr.ResidualSeries()
+	if len(rs) == 0 || rs[len(rs)-1] > rs[0] {
+		t.Error("residual series did not decrease")
+	}
+}
+
+// TestForwardRecoveryFreeWhenFaultFree pins the motivation the paper
+// gives for forward recovery (Section 7): unlike CR, FW costs nothing
+// when no fault occurs.
+func TestForwardRecoveryFreeWhenFaultFree(t *testing.T) {
+	cfg, _ := testSystem(t)
+	ff, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LI configured but never triggered: identical cost to FF.
+	li := cfg
+	li.Scheme = SchemeSpec{Kind: LI}
+	liRep, err := Run(li)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liRep.Iters != ff.Iters {
+		t.Errorf("idle LI changed iterations: %d vs %d", liRep.Iters, ff.Iters)
+	}
+	if d := math.Abs(liRep.Time-ff.Time) / ff.Time; d > 1e-9 {
+		t.Errorf("idle LI changed time by %g", d)
+	}
+	// CR keeps checkpointing even without faults: strictly more time.
+	cr := cfg
+	cr.Scheme = SchemeSpec{Kind: CRD, CkptEvery: 20}
+	crRep, err := Run(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crRep.Time <= ff.Time {
+		t.Errorf("fault-free CR-D time %g not above FF %g (checkpoint overhead)", crRep.Time, ff.Time)
+	}
+	if crRep.Checkpoints == 0 {
+		t.Error("no checkpoints in fault-free CR run")
+	}
+}

@@ -1,0 +1,86 @@
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when a non-positive pivot
+// is encountered.
+var ErrNotPositiveDefinite = errors.New("dense: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of A = L*Lᵀ.
+type Cholesky struct {
+	N int
+	L *Matrix
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix a. Only
+// the lower triangle of a is read. The LI recovery scheme factorizes the
+// SPD diagonal block A_{p_i,p_i} this way when using the exact (LU/
+// Cholesky) baseline.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: Cholesky of non-square %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPositiveDefinite, j, d)
+		}
+		diag := math.Sqrt(d)
+		l.Set(j, j, diag)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/diag)
+		}
+	}
+	return &Cholesky{N: n, L: l}, nil
+}
+
+// Solve solves A*x = b in place: b is overwritten with x.
+func (c *Cholesky) Solve(b []float64) error {
+	if len(b) != c.N {
+		return fmt.Errorf("dense: Cholesky.Solve length %d, want %d", len(b), c.N)
+	}
+	// Forward: L*y = b.
+	for i := 0; i < c.N; i++ {
+		s := b[i]
+		row := c.L.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * b[k]
+		}
+		b[i] = s / row[i]
+	}
+	// Backward: Lᵀ*x = y.
+	for i := c.N - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < c.N; k++ {
+			s -= c.L.At(k, i) * b[k]
+		}
+		b[i] = s / c.L.At(i, i)
+	}
+	return nil
+}
+
+// FactorFlops returns the flop count of the factorization (n³/3).
+func (c *Cholesky) FactorFlops() int64 {
+	n := int64(c.N)
+	return n * n * n / 3
+}
+
+// SolveFlops returns the flop count of one solve (2n²).
+func (c *Cholesky) SolveFlops() int64 {
+	n := int64(c.N)
+	return 2 * n * n
+}

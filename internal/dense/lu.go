@@ -1,0 +1,110 @@
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets an exactly zero pivot.
+var ErrSingular = errors.New("dense: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U, stored
+// packed in a single matrix (unit lower triangle implicit).
+type LU struct {
+	N    int
+	F    *Matrix // packed L\U
+	Perm []int   // row permutation: row i of U corresponds to row Perm[i] of A
+}
+
+// NewLU factorizes a with partial pivoting. This is the factorization the
+// prior-work LI baseline uses on the diagonal block (Section 4.1 of the
+// paper cites its high time and memory cost, which motivates the CG-based
+// construction).
+func NewLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: LU of non-square %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot search.
+		p := k
+		max := math.Abs(f.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rowK, rowP := f.Row(k), f.Row(p)
+			for j := 0; j < n; j++ {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+		}
+		pivot := f.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := f.At(i, k) / pivot
+			f.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			rowI, rowK := f.Row(i), f.Row(k)
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	return &LU{N: n, F: f, Perm: perm}, nil
+}
+
+// Solve solves A*x = b, returning x in a new slice.
+func (lu *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != lu.N {
+		return nil, fmt.Errorf("dense: LU.Solve length %d, want %d", len(b), lu.N)
+	}
+	n := lu.N
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[lu.Perm[i]]
+	}
+	// Forward with implicit unit diagonal.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := lu.F.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s
+	}
+	// Backward.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := lu.F.Row(i)
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// FactorFlops returns the flop count of the factorization (2n³/3).
+func (lu *LU) FactorFlops() int64 {
+	n := int64(lu.N)
+	return 2 * n * n * n / 3
+}
+
+// SolveFlops returns the flop count of one solve (2n²).
+func (lu *LU) SolveFlops() int64 {
+	n := int64(lu.N)
+	return 2 * n * n
+}

@@ -1,0 +1,108 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m x n matrix with m >= n.
+// It is the prior-work baseline for the LSI recovery scheme, which solves
+// the least-squares problem min ||beta - A_{:,p_i} x|| exactly (Eq. 18).
+type QR struct {
+	M, N int
+	F    *Matrix   // packed R (upper triangle) and Householder vectors (below)
+	Tau  []float64 // Householder scalars
+}
+
+// NewQR factorizes a (m >= n required).
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("dense: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	f := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Compute the Householder reflector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := f.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, fmt.Errorf("%w: zero column %d in QR", ErrSingular, k)
+		}
+		alpha := f.At(k, k)
+		if alpha > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1, normalized so v[0] = 1.
+		v0 := alpha - norm
+		for i := k + 1; i < m; i++ {
+			f.Set(i, k, f.At(i, k)/v0)
+		}
+		tau[k] = -v0 / norm
+		f.Set(k, k, norm)
+		// Apply reflector to remaining columns: A := (I - tau v vᵀ) A.
+		for j := k + 1; j < n; j++ {
+			s := f.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += f.At(i, k) * f.At(i, j)
+			}
+			s *= tau[k]
+			f.Set(k, j, f.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				f.Set(i, j, f.At(i, j)-s*f.At(i, k))
+			}
+		}
+	}
+	return &QR{M: m, N: n, F: f, Tau: tau}, nil
+}
+
+// SolveLS solves the least-squares problem min ||b - A*x||₂ and returns x.
+func (qr *QR) SolveLS(b []float64) ([]float64, error) {
+	if len(b) != qr.M {
+		return nil, fmt.Errorf("dense: QR.SolveLS length %d, want %d", len(b), qr.M)
+	}
+	y := make([]float64, qr.M)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < qr.N; k++ {
+		s := y[k]
+		for i := k + 1; i < qr.M; i++ {
+			s += qr.F.At(i, k) * y[i]
+		}
+		s *= qr.Tau[k]
+		y[k] -= s
+		for i := k + 1; i < qr.M; i++ {
+			y[i] -= s * qr.F.At(i, k)
+		}
+	}
+	// Back-substitute R*x = y[:n].
+	x := make([]float64, qr.N)
+	for i := qr.N - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < qr.N; j++ {
+			s -= qr.F.At(i, j) * x[j]
+		}
+		r := qr.F.At(i, i)
+		if r == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal %d in R", ErrSingular, i)
+		}
+		x[i] = s / r
+	}
+	return x, nil
+}
+
+// FactorFlops returns the flop count of the factorization (2mn² - 2n³/3).
+func (qr *QR) FactorFlops() int64 {
+	m, n := int64(qr.M), int64(qr.N)
+	return 2*m*n*n - 2*n*n*n/3
+}
+
+// SolveFlops returns the flop count of one least-squares solve.
+func (qr *QR) SolveFlops() int64 {
+	m, n := int64(qr.M), int64(qr.N)
+	return 4*m*n + n*n
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"resilience/internal/matgen"
+	"resilience/internal/report"
+)
+
+// These tests assert the paper's qualitative claims — the orderings and
+// shapes its figures and tables report — at tiny scale, where the full
+// suite runs in seconds. Quantitative CI-scale values live in
+// EXPERIMENTS.md.
+
+func tinyCfg() Config { return Default(matgen.Tiny) }
+
+// cell parses a float cell from a report table.
+func cell(t *testing.T, tb *report.Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) %q: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+// colIndex finds a column by header.
+func colIndex(t *testing.T, tb *report.Table, name string) int {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("no column %q in %v", name, tb.Columns)
+	return -1
+}
+
+func TestTab4Claims(t *testing.T) {
+	res, err := Get2(t, "tab4").Run(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	iRD := colIndex(t, tb, "RD")
+	iF0 := colIndex(t, tb, "F0")
+	iLI := colIndex(t, tb, "LI")
+	iCR := colIndex(t, tb, "CR-D")
+	for r := range tb.Rows {
+		rd, f0, li, cr := cell(t, tb, r, iRD), cell(t, tb, r, iF0), cell(t, tb, r, iLI), cell(t, tb, r, iCR)
+		// RD matches the fault-free run.
+		if rd != 1 {
+			t.Errorf("row %d: RD %g != 1", r, rd)
+		}
+		// F0 is the worst; LI beats F0; CR sits between LI and F0.
+		if li >= f0 {
+			t.Errorf("row %d: LI %g not better than F0 %g", r, li, f0)
+		}
+		if cr > f0+1e-9 {
+			t.Errorf("row %d: CR %g worse than F0 %g", r, cr, f0)
+		}
+	}
+	// Process-count invariance: each scheme's ratio varies by < 25%
+	// across rows (the paper's Table 4 shows it constant).
+	for _, col := range []int{iF0, iLI, iCR} {
+		lo, hi := 1e18, 0.0
+		for r := range tb.Rows {
+			v := cell(t, tb, r, col)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi/lo > 1.25 {
+			t.Errorf("column %s varies %gx across process counts", tb.Columns[col], hi/lo)
+		}
+	}
+}
+
+func TestFig4Claims(t *testing.T) {
+	res, err := Get2(t, "fig4").Run(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range res.Tables {
+		iImp := colIndex(t, tb, "vs exact")
+		best := -1e18
+		for r := 1; r < len(tb.Rows); r++ {
+			if v := cell(t, tb, r, iImp); v > best {
+				best = v
+			}
+		}
+		// The paper reports a 4-15% improvement; at simulator scales the
+		// CG construction must at least beat the exact baseline.
+		if best <= 0 {
+			t.Errorf("%s: best CG improvement %g not positive", tb.Title, best)
+		}
+	}
+}
+
+func TestFig5Claims(t *testing.T) {
+	res, err := Get2(t, "fig5").Run(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	iRD := colIndex(t, tb, "RD")
+	iF0 := colIndex(t, tb, "F0")
+	iFI := colIndex(t, tb, "FI")
+	iLI := colIndex(t, tb, "LI")
+	iLSI := colIndex(t, tb, "LSI")
+	avg := len(tb.Rows) - 1 // last row is the average
+	rd, f0, fi, li, lsi := cell(t, tb, avg, iRD), cell(t, tb, avg, iF0),
+		cell(t, tb, avg, iFI), cell(t, tb, avg, iLI), cell(t, tb, avg, iLSI)
+	if rd != 1 {
+		t.Errorf("RD average %g", rd)
+	}
+	// F0 and FI are the worst pair and essentially equal.
+	if f0 <= li || f0 <= lsi {
+		t.Errorf("F0 %g must exceed LI %g and LSI %g", f0, li, lsi)
+	}
+	if d := f0 - fi; d < -0.1 || d > 0.1 {
+		t.Errorf("F0 %g and FI %g should be close", f0, fi)
+	}
+	// Every scheme needs at least as many iterations as fault-free.
+	for r := 0; r < avg; r++ {
+		for _, c := range []int{iF0, iFI, iLI, iLSI} {
+			if v := cell(t, tb, r, c); v < 1 {
+				t.Errorf("row %d col %s: normalized iterations %g < 1", r, tb.Columns[c], v)
+			}
+		}
+	}
+}
+
+func TestFig7aClaims(t *testing.T) {
+	res, err := Get2(t, "fig7").Run(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0] // power profile table: LI row then LI-DVFS row
+	iRecon := colIndex(t, tb, "Reconstr. power/FF")
+	li := cell(t, tb, 0, iRecon)
+	dvfs := cell(t, tb, 1, iRecon)
+	// The reconstruction-phase power drop is the paper's headline claim:
+	// ~0.75x without DVFS, ~0.45x with.
+	if dvfs >= li {
+		t.Fatalf("DVFS reconstruction power %g not below plain %g", dvfs, li)
+	}
+	if li < 0.6 || li > 0.95 {
+		t.Errorf("plain LI reconstruction power %g, paper ~0.75", li)
+	}
+	if dvfs < 0.3 || dvfs > 0.7 {
+		t.Errorf("LI-DVFS reconstruction power %g, paper ~0.45", dvfs)
+	}
+}
+
+func TestTab5Claims(t *testing.T) {
+	res, err := Get2(t, "tab5").Run(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	vals := map[string][3]float64{}
+	for r := range tb.Rows {
+		vals[tb.Rows[r][0]] = [3]float64{
+			cell(t, tb, r, 1), cell(t, tb, r, 2), cell(t, tb, r, 3),
+		}
+	}
+	rd := vals["RD"]
+	if rd[0] > 1.05 || rd[1] < 1.95 || rd[1] > 2.05 || rd[2] < 1.9 || rd[2] > 2.15 {
+		t.Errorf("RD row %v, paper {1, 2, 2}", rd)
+	}
+	// CR-D takes the most time and energy among the compared schemes.
+	crd := vals["CR-D"]
+	for _, s := range []string{"LI-DVFS", "LSI-DVFS", "CR-M"} {
+		if vals[s][0] >= crd[0] {
+			t.Errorf("%s time %g not below CR-D %g", s, vals[s][0], crd[0])
+		}
+		if vals[s][2] >= crd[2] {
+			t.Errorf("%s energy %g not below CR-D %g", s, vals[s][2], crd[2])
+		}
+	}
+	// LI-DVFS costs less than LSI-DVFS (cheaper construction).
+	if vals["LI-DVFS"][2] >= vals["LSI-DVFS"][2] {
+		t.Errorf("LI-DVFS energy %g not below LSI-DVFS %g",
+			vals["LI-DVFS"][2], vals["LSI-DVFS"][2])
+	}
+}
+
+func TestTab6Claims(t *testing.T) {
+	res, err := Get2(t, "tab6").Run(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	// RD row: model and measurement both at {0, 2, 1}.
+	for r := range tb.Rows {
+		if tb.Rows[r][0] != "RD" {
+			continue
+		}
+		if cell(t, tb, r, 1) != 0 || cell(t, tb, r, 2) != 2 || cell(t, tb, r, 3) != 1 {
+			t.Errorf("RD model row wrong: %v", tb.Rows[r])
+		}
+		if mp := cell(t, tb, r, 5); mp < 1.9 || mp > 2.1 {
+			t.Errorf("RD measured power %g", mp)
+		}
+	}
+	// Model and measurement agree within a factor for every scheme row.
+	for r := 1; r < len(tb.Rows); r++ {
+		model := cell(t, tb, r, 1)
+		meas := cell(t, tb, r, 4)
+		if meas > 0.01 && model > 0.01 {
+			if ratio := model / meas; ratio < 0.1 || ratio > 10 {
+				t.Errorf("%s: model T_res %g vs measured %g", tb.Rows[r][0], model, meas)
+			}
+		}
+	}
+}
+
+// Get2 wraps Get with a fatal error on missing runners.
+func Get2(t *testing.T, id string) Runner {
+	t.Helper()
+	r, ok := Get(id)
+	if !ok {
+		t.Fatalf("no runner %q", id)
+	}
+	return r
+}
+
+func TestLoadSystemCaching(t *testing.T) {
+	cfg := tinyCfg()
+	a, err := cfg.loadSystem("Kuu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.loadSystem("Kuu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("loadSystem must cache per name+scale")
+	}
+	if _, err := cfg.loadSystem("nonexistent"); err == nil {
+		t.Error("unknown matrix accepted")
+	}
+}
+
+func TestBaseConfigClampsRanks(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Ranks = 1 << 20
+	s, err := cfg.loadSystem("bcsstk06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := cfg.baseConfig(s)
+	if rc.Ranks > s.a.Rows/2 {
+		t.Errorf("ranks %d not clamped for %d rows", rc.Ranks, s.a.Rows)
+	}
+}
+
+func TestFaultFreeCachePerRankCount(t *testing.T) {
+	cfg := tinyCfg()
+	s, err := cfg.loadSystem("wathen100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff8, err := cfg.faultFree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := cfg
+	c2.Ranks = 4
+	ff4, err := c2.faultFree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff8 == ff4 {
+		t.Error("fault-free cache must key on rank count")
+	}
+	again, _ := cfg.faultFree(s)
+	if again != ff8 {
+		t.Error("fault-free baseline not cached")
+	}
+}
+
+func TestRunnersHaveTitlesAndOrder(t *testing.T) {
+	all := All()
+	if len(all) < 19 {
+		t.Fatalf("only %d runners", len(all))
+	}
+	for _, r := range all {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r.ID)
+		}
+	}
+	// Paper order: fig1 first, fig9 before the ablations.
+	if all[0].ID != "fig1" {
+		t.Errorf("first runner %s", all[0].ID)
+	}
+	pos := map[string]int{}
+	for i, r := range all {
+		pos[r.ID] = i
+	}
+	if pos["fig9"] > pos["ablation-interval"] {
+		t.Error("fig9 must precede the ablations")
+	}
+}

@@ -1,0 +1,269 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section 2.2's Figure 3 through Section 6's Figure
+// 9), plus ablation studies of the design choices. Each runner produces
+// text tables that mirror what the paper reports, at a configurable
+// scale (see internal/matgen.Scale for the scale policy).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"resilience/internal/core"
+	"resilience/internal/fault"
+	"resilience/internal/matgen"
+	"resilience/internal/platform"
+	"resilience/internal/report"
+)
+
+// Config selects the scale and environment all experiments run in.
+type Config struct {
+	Scale matgen.Scale
+	// Ranks is the process count for the solver experiments (the paper
+	// uses 256 for iteration studies and 192 cores for energy studies;
+	// scaled-down defaults keep runtimes practical — the paper's own
+	// Table 4 shows normalized iterations are process-count invariant).
+	Ranks int
+	Plat  *platform.Platform
+	// Tol is the solver tolerance (paper: 1e-12; relaxed at tiny scale).
+	Tol float64
+	// Faults is the injected fault count for Section 5.2-style runs
+	// (paper: 10).
+	Faults int
+	Seed   int64
+}
+
+// Default returns the standard configuration for a scale.
+func Default(scale matgen.Scale) Config {
+	cfg := Config{
+		Scale:  scale,
+		Plat:   platform.Default(),
+		Faults: 10,
+		Seed:   1,
+	}
+	switch scale {
+	case matgen.Tiny:
+		cfg.Ranks = 8
+		cfg.Tol = 1e-10
+	case matgen.CI:
+		cfg.Ranks = 32
+		cfg.Tol = 1e-12
+	default:
+		cfg.Ranks = 192
+		cfg.Tol = 1e-12
+	}
+	return cfg
+}
+
+// Result is one experiment's rendered output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	Notes  []string
+}
+
+// String renders the result for terminals and EXPERIMENTS.md.
+func (r *Result) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		s += "\n" + t.String()
+	}
+	for _, n := range r.Notes {
+		s += "\nnote: " + n + "\n"
+	}
+	return s
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Result, error)
+}
+
+var registry []Runner
+
+func register(id, title string, run func(Config) (*Result, error)) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// All returns the runners in paper order.
+func All() []Runner {
+	out := make([]Runner, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+var paperOrder = []string{
+	"fig1", "fig3", "fig4", "tab3", "tab4", "fig5", "fig6", "fig7",
+	"tab5", "fig8", "tab6", "fig9",
+	"ablation-interval", "ablation-tol", "ablation-dvfs", "ablation-tmr",
+	"ablation-pcg", "ablation-multilevel", "ablation-sdc", "ablation-pipeline",
+	"ablation-construction",
+}
+
+func orderOf(id string) int {
+	for i, s := range paperOrder {
+		if s == id {
+			return i
+		}
+	}
+	return len(paperOrder)
+}
+
+// Get finds a runner by id.
+func Get(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// --- shared run helpers ------------------------------------------------
+
+// system is a generated workload with its cached fault-free baseline.
+type system struct {
+	spec matgen.Spec
+	a    *coreMatrix
+	b    []float64
+
+	mu sync.Mutex
+	ff map[int]*core.RunReport // by rank count
+}
+
+// coreMatrix aliases the sparse matrix type without re-importing it in
+// every experiment file.
+type coreMatrix = sparseCSR
+
+var (
+	sysMu    sync.Mutex
+	sysCache = map[string]*system{}
+)
+
+// loadSystem generates (or returns the cached) analog for a catalog
+// matrix at the config's scale.
+func (c Config) loadSystem(name string) (*system, error) {
+	key := fmt.Sprintf("%s@%s", name, c.Scale)
+	sysMu.Lock()
+	defer sysMu.Unlock()
+	if s, ok := sysCache[key]; ok {
+		return s, nil
+	}
+	spec, err := matgen.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	a := spec.Generate(c.Scale)
+	b, _ := matgen.RHS(a)
+	s := &system{spec: spec, a: a, b: b, ff: map[int]*core.RunReport{}}
+	sysCache[key] = s
+	return s, nil
+}
+
+// baseConfig assembles the core.RunConfig shared by all schemes.
+func (c Config) baseConfig(s *system) core.RunConfig {
+	ranks := c.Ranks
+	if ranks > s.a.Rows/2 {
+		ranks = s.a.Rows / 2
+	}
+	if ranks < 1 {
+		ranks = 1
+	}
+	return core.RunConfig{
+		A:        s.a,
+		B:        s.b,
+		Ranks:    ranks,
+		Plat:     c.Plat,
+		Tol:      c.Tol,
+		MaxIters: 40 * s.spec.TargetIters(c.Scale),
+		Seed:     c.Seed,
+	}
+}
+
+// faultFree returns the cached fault-free distributed baseline.
+func (c Config) faultFree(s *system) (*core.RunReport, error) {
+	rc := c.baseConfig(s)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.ff[rc.Ranks]; ok {
+		return r, nil
+	}
+	r, err := core.Run(rc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: FF baseline for %s: %w", s.spec.Name, err)
+	}
+	if !r.Converged {
+		return nil, fmt.Errorf("experiments: FF baseline for %s did not converge (relres %g after %d iters)",
+			s.spec.Name, r.RelRes, r.Iters)
+	}
+	s.ff[rc.Ranks] = r
+	return r, nil
+}
+
+// runScheme executes one scheme with the standard evenly-spaced fault
+// schedule derived from the fault-free iteration count.
+func (c Config) runScheme(s *system, spec core.SchemeSpec, keepSegs bool) (*core.RunReport, error) {
+	ff, err := c.faultFree(s)
+	if err != nil {
+		return nil, err
+	}
+	rc := c.baseConfig(s)
+	rc.Scheme = spec
+	rc.KeepSegments = keepSegs
+	if spec.Kind != core.FF {
+		ffIters := ff.Iters
+		nFaults := c.Faults
+		ranks := rc.Ranks
+		seed := c.Seed
+		rc.InjectorFactory = func() fault.Injector {
+			return fault.NewSchedule(nFaults, ffIters, ranks, fault.SNF, seed)
+		}
+		// Young-policy CR needs the failure rate the schedule implies.
+		if spec.CkptEvery == 0 && (spec.Kind == core.CRM || spec.Kind == core.CRD) && spec.CkptMTBF == 0 {
+			rc.Scheme.CkptMTBF = ff.Time / float64(nFaults)
+		}
+	}
+	rep, err := core.Run(rc)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", spec.Name(), s.spec.Name, err)
+	}
+	if !rep.Converged {
+		return nil, fmt.Errorf("experiments: %s on %s did not converge (relres %g after %d iters)",
+			spec.Name(), s.spec.Name, rep.RelRes, rep.Iters)
+	}
+	return rep, nil
+}
+
+// schemeSet is the paper's standard comparison set for iteration studies.
+// The checkpoint interval is the paper's 100 iterations, shrunk at tiny
+// scale where fault-free runs are themselves under 100 iterations.
+func (c Config) schemeSet() []core.SchemeSpec {
+	ckptEvery := 100
+	if c.Scale == matgen.Tiny {
+		ckptEvery = 10
+	}
+	return []core.SchemeSpec{
+		{Kind: core.RD},
+		{Kind: core.F0},
+		{Kind: core.FI},
+		{Kind: core.LI},
+		{Kind: core.LSI},
+		{Kind: core.CRD, CkptEvery: ckptEvery},
+	}
+}
+
+// energySchemeSet is the Section 5.3 comparison set (Table 5).
+func energySchemeSet() []core.SchemeSpec {
+	return []core.SchemeSpec{
+		{Kind: core.RD},
+		{Kind: core.LI, DVFS: true},
+		{Kind: core.LSI, DVFS: true},
+		{Kind: core.CRM},
+		{Kind: core.CRD},
+	}
+}

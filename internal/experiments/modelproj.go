@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resilience/internal/core"
+	"resilience/internal/fault"
+	"resilience/internal/model"
+	"resilience/internal/projection"
+	"resilience/internal/report"
+)
+
+func init() {
+	register("fig1", "Estimated MTBF for exascale systems (Figure 1)", runFig1)
+	register("tab6", "Model validation on x104 (Table 6)", runTab6)
+	register("fig9", "Weak-scaling projection of resilience cost (Figure 9)", runFig9)
+}
+
+// runFig1 reproduces Figure 1: the per-class MTBF projection from a
+// petascale to an exascale machine.
+func runFig1(Config) (*Result, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 1: system MTBF per fault class (%d-node petascale vs %d-node 11nm exascale)",
+			fault.PetascaleNodes, fault.ExascaleNodes),
+		"Class", "Petascale MTBF (h)", "Exascale MTBF (h)", "Exascale MTBF (min)")
+	for _, row := range fault.ProjectFig1() {
+		t.AddF(row.Class.String(), row.PetascaleHours, row.ExascaleHours, row.ExascaleHours*60)
+	}
+	t.AddF("combined",
+		fault.CombinedSystemMTBF(fault.PetascaleNodes, fault.TechPetascale),
+		fault.CombinedSystemMTBF(fault.ExascaleNodes, fault.TechExascale),
+		fault.CombinedSystemMTBF(fault.ExascaleNodes, fault.TechExascale)*60)
+	return &Result{
+		ID:     "fig1",
+		Title:  "Estimated MTBF for exascale systems from petascale systems (Figure 1)",
+		Tables: []*report.Table{t},
+		Notes: []string{
+			"Paper expectation: hard-failure MTBF of 1-7 days at petascale shrinks to within an hour at exascale.",
+		},
+	}, nil
+}
+
+// runTab6 reproduces Table 6: analytical-model predictions vs measured
+// costs for the x104 workload, everything normalized to FF.
+func runTab6(cfg Config) (*Result, error) {
+	s, err := cfg.loadSystem("x104")
+	if err != nil {
+		return nil, err
+	}
+	ff, err := cfg.faultFree(s)
+	if err != nil {
+		return nil, err
+	}
+	base := model.BaseParams(ff)
+
+	t := report.NewTable("Table 6: model vs experiment, x104 analog, normalized to FF",
+		"Scheme", "model T_res", "model P", "model E_res", "meas T_res", "meas P", "meas E_res")
+	t.AddF("FF", 0.0, 1.0, 0.0, 0.0, 1.0, 0.0)
+
+	addRow := func(v model.Validation) {
+		t.AddF(v.Scheme, v.ModelTRes, v.ModelP, v.ModelERes, v.MeasTRes, v.MeasP, v.MeasERes)
+	}
+
+	// RD.
+	rdRun, err := cfg.runScheme(s, core.SchemeSpec{Kind: core.RD}, false)
+	if err != nil {
+		return nil, err
+	}
+	rdPred, err := model.PredictRD(model.FitRD(ff, 2))
+	if err != nil {
+		return nil, err
+	}
+	addRow(model.Validate("RD", rdPred, base, ff, rdRun))
+
+	// LI-DVFS and LSI-DVFS.
+	for _, kind := range []core.SchemeKind{core.LI, core.LSI} {
+		spec := core.SchemeSpec{Kind: kind, DVFS: true}
+		run, err := cfg.runScheme(s, spec, true)
+		if err != nil {
+			return nil, err
+		}
+		params, err := model.FitFW(ff, run, cfg.Plat, true)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.PredictFW(params)
+		if err != nil {
+			return nil, err
+		}
+		addRow(model.Validate(spec.Name(), pred, base, ff, run))
+	}
+
+	// CR-M and CR-D with a fixed interval so the model knows I_C exactly.
+	ckptEvery := 100
+	for _, kind := range []core.SchemeKind{core.CRM, core.CRD} {
+		spec := core.SchemeSpec{Kind: kind, CkptEvery: ckptEvery}
+		run, err := cfg.runScheme(s, spec, false)
+		if err != nil {
+			return nil, err
+		}
+		params, err := model.FitCR(ff, run, cfg.Plat, ckptEvery)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.PredictCR(params)
+		if err != nil {
+			return nil, err
+		}
+		addRow(model.Validate(spec.Name(), pred, base, ff, run))
+	}
+
+	return &Result{
+		ID:     "tab6",
+		Title:  "Validation of the analytical models (Table 6)",
+		Tables: []*report.Table{t},
+		Notes: []string{
+			"Paper expectation: model and measurement agree on ordering; the FW models slightly over-estimate T_res and E_res.",
+		},
+	}, nil
+}
+
+// runFig9 reproduces Figure 9: projected normalized resilience overheads
+// under weak scaling with decreasing system MTBF. Measured constants
+// (construction time, extra-iteration penalty) are fitted from a run at
+// the experimental scale.
+func runFig9(cfg Config) (*Result, error) {
+	pc := projection.DefaultConfig()
+	pc.Plat = cfg.Plat
+
+	// Fit the FW constants from a measured LI-DVFS run on the stencil.
+	s, err := cfg.loadSystem("5-point stencil")
+	if err != nil {
+		return nil, err
+	}
+	ff, err := cfg.faultFree(s)
+	if err != nil {
+		return nil, err
+	}
+	run, err := cfg.runScheme(s, core.SchemeSpec{Kind: core.LI, DVFS: true}, true)
+	if err != nil {
+		return nil, err
+	}
+	params, err := model.FitFW(ff, run, cfg.Plat, true)
+	if err != nil {
+		return nil, err
+	}
+	pc.ExtraFracPerFault = params.ExtraFracPerFault
+	pc.LocalConstSecs = params.TConst
+	pc.ItersBase = ff.Iters
+
+	rows, err := projection.Project(pc)
+	if err != nil {
+		return nil, err
+	}
+	byScheme := map[string]*report.Table{}
+	order := []string{"RD", "CR-D", "CR-M", "FW"}
+	for _, sch := range order {
+		byScheme[sch] = report.NewTable("Figure 9: "+sch+" (normalized to FF at each size)",
+			"#procs", "MTBF (h)", "T_res/T", "E_res/E", "P/P_ff")
+	}
+	for _, r := range rows {
+		byScheme[r.Scheme].AddF(r.N, r.MTBFHours, r.TResNorm, r.EResNorm, r.PNorm)
+	}
+	tables := make([]*report.Table, 0, len(order))
+	for _, sch := range order {
+		tables = append(tables, byScheme[sch])
+	}
+	return &Result{
+		ID:     "fig9",
+		Title:  "Normalized resilience overhead under weak scaling (Figure 9)",
+		Tables: tables,
+		Notes: []string{
+			"Paper expectation: RD flat; FW overhead grows roughly linearly; CR-D grows fastest; CR-M stays smallest; average power of FW and CR-D drops as recovery time dominates.",
+			fmt.Sprintf("FW constants fitted from the 5-point stencil run: t_const=%.3gs, extra-frac/fault=%.3g", pc.LocalConstSecs, pc.ExtraFracPerFault),
+		},
+	}, nil
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+// TestSmokeAllTiny runs every registered experiment at tiny scale.
+func TestSmokeAllTiny(t *testing.T) {
+	cfg := Default(0) // Tiny
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			res, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			t.Logf("%s:\n%s", r.ID, res.String())
+		})
+	}
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "resilience/internal/sparse"
+
+// sparseCSR aliases the matrix type used throughout the experiments.
+type sparseCSR = sparse.CSR

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Injector decides when faults strike a run. Check is called once per
+// solver iteration, at a point where all ranks hold identical virtual
+// clocks (immediately after a collective), so every rank reaches the same
+// decision without extra communication.
+//
+// Implementations must be deterministic functions of (iter, clock) and
+// their seed.
+type Injector interface {
+	// Check returns the fault striking at this iteration, or nil.
+	Check(iter int, clock float64) *Fault
+	// Remaining returns how many more faults this injector can produce
+	// (a negative value means unbounded).
+	Remaining() int
+}
+
+// None is an injector that never fires (fault-free baseline).
+type None struct{}
+
+// Check implements Injector.
+func (None) Check(int, float64) *Fault { return nil }
+
+// Remaining implements Injector.
+func (None) Remaining() int { return 0 }
+
+// Schedule injects faults at predetermined iterations, the paper's
+// Section 5.2 protocol: "10 faults are inserted evenly over the iterations
+// required by the fault free execution (no more faults inserted after the
+// fault free execution converges)".
+type Schedule struct {
+	faults []Fault
+	next   int
+}
+
+// NewSchedule spreads `count` faults evenly over [1, ffIters], assigning
+// each to a deterministic pseudo-random rank in [0, ranks).
+func NewSchedule(count, ffIters, ranks int, class Class, seed int64) *Schedule {
+	if count < 0 || ffIters <= 0 || ranks <= 0 {
+		panic(fmt.Sprintf("fault: bad schedule count=%d ffIters=%d ranks=%d", count, ffIters, ranks))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, 0, count)
+	for i := 1; i <= count; i++ {
+		iter := i * ffIters / (count + 1)
+		if iter < 1 {
+			iter = 1
+		}
+		faults = append(faults, Fault{
+			Class: class,
+			Rank:  rng.Intn(ranks),
+			Iter:  iter,
+		})
+	}
+	// Evenly spaced iterations are already sorted; keep the invariant
+	// explicit for safety with tiny ffIters where divisions collide.
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].Iter < faults[j].Iter })
+	return &Schedule{faults: faults}
+}
+
+// NewScheduleClasses spreads `count` faults evenly like NewSchedule but
+// cycles the fault class through the given list, producing mixed-class
+// workloads (e.g. mostly node failures with occasional system-wide
+// outages) for the multi-level checkpointing studies.
+func NewScheduleClasses(count, ffIters, ranks int, classes []Class, seed int64) *Schedule {
+	if len(classes) == 0 {
+		panic("fault: NewScheduleClasses needs at least one class")
+	}
+	s := NewSchedule(count, ffIters, ranks, classes[0], seed)
+	for i := range s.faults {
+		s.faults[i].Class = classes[i%len(classes)]
+	}
+	return s
+}
+
+// NewSingle schedules exactly one fault at the given iteration on the
+// given rank (the paper's Figure 6(a): one fault at iteration 200).
+func NewSingle(iter, rank int, class Class) *Schedule {
+	return &Schedule{faults: []Fault{{Class: class, Rank: rank, Iter: iter}}}
+}
+
+// Check implements Injector. Multiple faults scheduled for the same
+// iteration fire on consecutive Check calls.
+func (s *Schedule) Check(iter int, clock float64) *Fault {
+	if s.next >= len(s.faults) {
+		return nil
+	}
+	f := s.faults[s.next]
+	if iter < f.Iter {
+		return nil
+	}
+	s.next++
+	out := f
+	out.Iter = iter
+	out.Time = clock
+	return &out
+}
+
+// Remaining implements Injector.
+func (s *Schedule) Remaining() int { return len(s.faults) - s.next }
+
+// Faults exposes the full schedule (for reports and tests).
+func (s *Schedule) Faults() []Fault {
+	out := make([]Fault, len(s.faults))
+	copy(out, s.faults)
+	return out
+}
+
+// Poisson injects faults as a Poisson process in virtual time with the
+// given MTBF, the paper's Section 5.3 / Figure 3 protocol.
+type Poisson struct {
+	mtbf  float64 // seconds
+	ranks int
+	class Class
+	rng   *rand.Rand
+	next  float64
+	fired int
+	limit int // stop after this many faults; <0 unbounded
+}
+
+// NewPoisson draws exponential interarrivals with mean mtbfSeconds.
+func NewPoisson(mtbfSeconds float64, ranks int, class Class, seed int64) *Poisson {
+	if mtbfSeconds <= 0 || ranks <= 0 {
+		panic(fmt.Sprintf("fault: bad poisson mtbf=%g ranks=%d", mtbfSeconds, ranks))
+	}
+	p := &Poisson{mtbf: mtbfSeconds, ranks: ranks, class: class,
+		rng: rand.New(rand.NewSource(seed)), limit: -1}
+	p.next = p.rng.ExpFloat64() * p.mtbf
+	return p
+}
+
+// WithLimit caps the number of injected faults and returns p.
+func (p *Poisson) WithLimit(n int) *Poisson {
+	p.limit = n
+	return p
+}
+
+// Check implements Injector. At most one fault is reported per iteration;
+// if several arrivals fall inside one iteration they fire on subsequent
+// iterations (back-to-back faults).
+func (p *Poisson) Check(iter int, clock float64) *Fault {
+	if p.limit >= 0 && p.fired >= p.limit {
+		return nil
+	}
+	if clock < p.next {
+		return nil
+	}
+	f := &Fault{
+		Class: p.class,
+		Rank:  p.rng.Intn(p.ranks),
+		Iter:  iter,
+		Time:  clock,
+	}
+	p.next += p.rng.ExpFloat64() * p.mtbf
+	p.fired++
+	return f
+}
+
+// Remaining implements Injector.
+func (p *Poisson) Remaining() int {
+	if p.limit < 0 {
+		return -1
+	}
+	return p.limit - p.fired
+}

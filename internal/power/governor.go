@@ -1,0 +1,74 @@
+package power
+
+import (
+	"fmt"
+
+	"resilience/internal/platform"
+)
+
+// Governor decides the frequency a core runs at, emulating the Linux
+// CPUfreq governors the paper uses (Section 5.3):
+//
+//   - "ondemand": scales with utilization. MPI ranks busy-wait, so under
+//     ondemand a rank that is waiting still appears fully utilized and
+//     stays at f_max — this is the paper's OS-managed baseline, and why
+//     plain LI only drops node power to ~0.75×.
+//   - "userspace": the application sets frequencies explicitly; this is
+//     what LI-DVFS/LSI-DVFS use to park non-reconstructing cores at f_min.
+//   - "performance": pins f_max always.
+type Governor interface {
+	// Freq returns the frequency for a core given whether the core is
+	// nominally busy and the application-requested frequency (used only
+	// by userspace).
+	Freq(busy bool, requested float64) float64
+	Name() string
+}
+
+// PerformanceGovernor pins the maximum frequency.
+type PerformanceGovernor struct{ P *platform.Platform }
+
+// Freq implements Governor.
+func (g PerformanceGovernor) Freq(bool, float64) float64 { return g.P.FreqMax }
+
+// Name implements Governor.
+func (g PerformanceGovernor) Name() string { return "performance" }
+
+// OndemandGovernor scales to f_max when the core appears utilized and to
+// f_min when it is truly idle. Busy-waiting counts as utilized.
+type OndemandGovernor struct{ P *platform.Platform }
+
+// Freq implements Governor.
+func (g OndemandGovernor) Freq(busy bool, _ float64) float64 {
+	if busy {
+		return g.P.FreqMax
+	}
+	return g.P.FreqMin
+}
+
+// Name implements Governor.
+func (g OndemandGovernor) Name() string { return "ondemand" }
+
+// UserspaceGovernor obeys the application's requested frequency, clamped
+// to the platform ladder.
+type UserspaceGovernor struct{ P *platform.Platform }
+
+// Freq implements Governor.
+func (g UserspaceGovernor) Freq(_ bool, requested float64) float64 {
+	return g.P.ClampFreq(requested)
+}
+
+// Name implements Governor.
+func (g UserspaceGovernor) Name() string { return "userspace" }
+
+// NewGovernor builds a governor by CPUfreq name.
+func NewGovernor(name string, p *platform.Platform) (Governor, error) {
+	switch name {
+	case "performance":
+		return PerformanceGovernor{P: p}, nil
+	case "ondemand":
+		return OndemandGovernor{P: p}, nil
+	case "userspace":
+		return UserspaceGovernor{P: p}, nil
+	}
+	return nil, fmt.Errorf("power: unknown governor %q", name)
+}

@@ -1,0 +1,207 @@
+// Package power implements the simulated energy measurement substrate that
+// replaces the Intel RAPL interface the paper reads: a per-core,
+// phase-tagged power meter over virtual time, plus DVFS governor
+// emulations.
+//
+// The meter stores (core, phase, start, duration, watts) segments.
+// Segments from different cores may be recorded concurrently from rank
+// goroutines; the meter is safe for concurrent use. Contiguous segments
+// with identical core/phase/watts are coalesced to bound memory.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Segment is one constant-power interval on one core.
+type Segment struct {
+	Core  int
+	Phase string
+	Start float64 // virtual seconds
+	Dur   float64
+	Watts float64
+}
+
+// End returns the segment's end time.
+func (s Segment) End() float64 { return s.Start + s.Dur }
+
+// Energy returns the segment's energy in joules.
+func (s Segment) Energy() float64 { return s.Watts * s.Dur }
+
+// Meter accumulates energy segments over virtual time.
+type Meter struct {
+	mu       sync.Mutex
+	segs     []Segment
+	byPhase  map[string]float64
+	total    float64
+	lastEnd  map[int]float64 // per-core last recorded end, for gap checks
+	keepSegs bool
+}
+
+// NewMeter returns a meter. If keepSegments is false, only aggregate
+// energies are kept (cheaper for large sweeps); timelines then cannot be
+// reconstructed.
+func NewMeter(keepSegments bool) *Meter {
+	return &Meter{
+		byPhase:  make(map[string]float64),
+		lastEnd:  make(map[int]float64),
+		keepSegs: keepSegments,
+	}
+}
+
+// Record adds a segment. Zero-duration segments are ignored; negative
+// durations panic (they indicate a virtual-clock bug).
+func (m *Meter) Record(core int, phase string, start, dur, watts float64) {
+	if dur == 0 {
+		return
+	}
+	if dur < 0 || math.IsNaN(dur) {
+		panic(fmt.Sprintf("power: negative/NaN duration %g on core %d phase %q", dur, core, phase))
+	}
+	if watts < 0 || math.IsNaN(watts) {
+		panic(fmt.Sprintf("power: negative/NaN power %g on core %d phase %q", watts, core, phase))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := watts * dur
+	m.total += e
+	m.byPhase[phase] += e
+	if end := start + dur; end > m.lastEnd[core] {
+		m.lastEnd[core] = end
+	}
+	if !m.keepSegs {
+		return
+	}
+	// Coalesce with the previous segment of the same core when contiguous
+	// and identical in phase and power.
+	if n := len(m.segs); n > 0 {
+		last := &m.segs[n-1]
+		if last.Core == core && last.Phase == phase && last.Watts == watts &&
+			math.Abs(last.End()-start) < 1e-12 {
+			last.Dur += dur
+			return
+		}
+	}
+	m.segs = append(m.segs, Segment{Core: core, Phase: phase, Start: start, Dur: dur, Watts: watts})
+}
+
+// TotalEnergy returns the total recorded energy in joules.
+func (m *Meter) TotalEnergy() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// EnergyByPhase returns a copy of the per-phase energy breakdown.
+func (m *Meter) EnergyByPhase() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.byPhase))
+	for k, v := range m.byPhase {
+		out[k] = v
+	}
+	return out
+}
+
+// Segments returns a copy of the recorded segments (empty when the meter
+// was created without segment retention).
+func (m *Meter) Segments() []Segment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Segment, len(m.segs))
+	copy(out, m.segs)
+	return out
+}
+
+// Span returns the latest end time recorded on any core.
+func (m *Meter) Span() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var end float64
+	for _, t := range m.lastEnd {
+		if t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// AveragePower returns total energy divided by the time span. It is the
+// quantity the paper reports as P in Tables 5, 6 and Figure 8.
+func (m *Meter) AveragePower() float64 {
+	span := m.Span()
+	if span == 0 {
+		return 0
+	}
+	return m.TotalEnergy() / span
+}
+
+// Sample is one point of a power timeline.
+type Sample struct {
+	Time  float64
+	Watts float64
+}
+
+// Timeline integrates aggregate power over all cores into dt-wide bins
+// from t=0 to the meter span (the power profile of Figure 7a). It
+// requires segment retention.
+func (m *Meter) Timeline(dt float64) []Sample {
+	if dt <= 0 {
+		panic("power: Timeline needs dt > 0")
+	}
+	segs := m.Segments()
+	span := m.Span()
+	if span == 0 || len(segs) == 0 {
+		return nil
+	}
+	nbins := int(math.Ceil(span/dt)) + 1
+	energy := make([]float64, nbins)
+	for _, s := range segs {
+		// Spread the segment's energy across the bins it overlaps.
+		b0 := int(s.Start / dt)
+		b1 := int(s.End() / dt)
+		if b1 >= nbins {
+			b1 = nbins - 1
+		}
+		for b := b0; b <= b1; b++ {
+			lo := math.Max(s.Start, float64(b)*dt)
+			hi := math.Min(s.End(), float64(b+1)*dt)
+			if hi > lo {
+				energy[b] += s.Watts * (hi - lo)
+			}
+		}
+	}
+	out := make([]Sample, nbins)
+	for b := range energy {
+		out[b] = Sample{Time: (float64(b) + 0.5) * dt, Watts: energy[b] / dt}
+	}
+	return out
+}
+
+// PhaseWindows returns, for each recorded phase, the merged time windows
+// during which any core ran that phase. Used by tests and the power
+// profile reports to locate reconstruction windows.
+func (m *Meter) PhaseWindows(phase string) [][2]float64 {
+	segs := m.Segments()
+	var ws [][2]float64
+	for _, s := range segs {
+		if s.Phase == phase {
+			ws = append(ws, [2]float64{s.Start, s.End()})
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i][0] < ws[j][0] })
+	var merged [][2]float64
+	for _, w := range ws {
+		if n := len(merged); n > 0 && w[0] <= merged[n-1][1]+1e-12 {
+			if w[1] > merged[n-1][1] {
+				merged[n-1][1] = w[1]
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	return merged
+}

@@ -1,0 +1,107 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Counter emulates the RAPL energy counter interface the paper reads:
+// monotonically increasing cumulative energy, sampled at arbitrary
+// virtual-time points. Sampling twice and differencing gives the energy
+// of a window, exactly how RAPL-based measurement scripts work.
+type Counter struct {
+	m *Meter
+}
+
+// NewCounter wraps a meter (which must retain segments).
+func NewCounter(m *Meter) *Counter { return &Counter{m: m} }
+
+// EnergyUpTo returns the cumulative energy of all cores in [0, t].
+func (c *Counter) EnergyUpTo(t float64) float64 {
+	if t < 0 {
+		panic(fmt.Sprintf("power: EnergyUpTo(%g) before time zero", t))
+	}
+	var sum float64
+	for _, s := range c.m.Segments() {
+		if s.Start >= t {
+			continue
+		}
+		hi := math.Min(s.End(), t)
+		sum += s.Watts * (hi - s.Start)
+	}
+	return sum
+}
+
+// Window returns the energy consumed in [t0, t1] and the average power
+// over the window.
+func (c *Counter) Window(t0, t1 float64) (joules, watts float64) {
+	if t1 < t0 {
+		panic(fmt.Sprintf("power: Window(%g, %g) reversed", t0, t1))
+	}
+	joules = c.EnergyUpTo(t1) - c.EnergyUpTo(t0)
+	if t1 > t0 {
+		watts = joules / (t1 - t0)
+	}
+	return joules, watts
+}
+
+// PerCoreEnergy returns each core's total energy. It requires segment
+// retention and is used to check load/energy balance across ranks.
+func (m *Meter) PerCoreEnergy() map[int]float64 {
+	out := map[int]float64{}
+	for _, s := range m.Segments() {
+		out[s.Core] += s.Energy()
+	}
+	return out
+}
+
+// sampler support: a monotone cache for repeated forward-in-time reads,
+// used by long power-profile sweeps to avoid re-scanning all segments.
+type Sampler struct {
+	c    *Counter
+	mu   sync.Mutex
+	segs []Segment
+	idx  int
+	acc  float64
+	last float64
+}
+
+// NewSampler returns a sampler over the meter's current segments. Reads
+// must be issued with non-decreasing timestamps.
+func NewSampler(m *Meter) *Sampler {
+	segs := m.Segments()
+	// Segments are recorded per core concurrently; order by start time.
+	sortSegments(segs)
+	return &Sampler{c: NewCounter(m), segs: segs}
+}
+
+// ReadAt returns cumulative energy up to t; t must not decrease across
+// calls.
+func (s *Sampler) ReadAt(t float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.last {
+		panic(fmt.Sprintf("power: Sampler.ReadAt(%g) after %g", t, s.last))
+	}
+	s.last = t
+	// Fold in all segments that end at or before t.
+	for s.idx < len(s.segs) && s.segs[s.idx].End() <= t {
+		s.acc += s.segs[s.idx].Energy()
+		s.idx++
+	}
+	sum := s.acc
+	// Partially overlapping segments (started before t, still running).
+	for i := s.idx; i < len(s.segs) && s.segs[i].Start < t; i++ {
+		hi := math.Min(s.segs[i].End(), t)
+		if hi > s.segs[i].Start {
+			sum += s.segs[i].Watts * (hi - s.segs[i].Start)
+		}
+	}
+	return sum
+}
+
+func sortSegments(segs []Segment) {
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+}

@@ -1,0 +1,124 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func raplMeter() *Meter {
+	m := NewMeter(true)
+	m.Record(0, "solve", 0, 2, 10) // 20 J over [0,2]
+	m.Record(1, "solve", 1, 2, 5)  // 10 J over [1,3]
+	return m
+}
+
+func TestCounterEnergyUpTo(t *testing.T) {
+	c := NewCounter(raplMeter())
+	cases := []struct{ t, want float64 }{
+		{0, 0},
+		{1, 10},     // core 0 only
+		{2, 25},     // 20 + 5
+		{3, 30},     // everything
+		{100, 30},   // beyond the end
+		{0.5, 5},    // partial
+		{1.5, 17.5}, // 15 + 2.5
+	}
+	for _, cse := range cases {
+		if got := c.EnergyUpTo(cse.t); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("EnergyUpTo(%g)=%g want %g", cse.t, got, cse.want)
+		}
+	}
+}
+
+func TestCounterWindow(t *testing.T) {
+	c := NewCounter(raplMeter())
+	j, w := c.Window(1, 3)
+	if math.Abs(j-20) > 1e-12 {
+		t.Errorf("window energy %g want 20", j)
+	}
+	if math.Abs(w-10) > 1e-12 {
+		t.Errorf("window power %g want 10", w)
+	}
+	j, w = c.Window(2, 2)
+	if j != 0 || w != 0 {
+		t.Error("zero-width window must be zero")
+	}
+}
+
+func TestCounterPanics(t *testing.T) {
+	c := NewCounter(raplMeter())
+	for _, fn := range []func(){
+		func() { c.EnergyUpTo(-1) },
+		func() { c.Window(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPerCoreEnergy(t *testing.T) {
+	m := raplMeter()
+	per := m.PerCoreEnergy()
+	if per[0] != 20 || per[1] != 10 {
+		t.Errorf("per-core %v", per)
+	}
+}
+
+func TestSamplerMatchesCounter(t *testing.T) {
+	m := raplMeter()
+	s := NewSampler(m)
+	c := NewCounter(m)
+	for _, tm := range []float64{0, 0.3, 1, 1.7, 2, 2.5, 3, 10} {
+		if got, want := s.ReadAt(tm), c.EnergyUpTo(tm); math.Abs(got-want) > 1e-12 {
+			t.Errorf("ReadAt(%g)=%g want %g", tm, got, want)
+		}
+	}
+}
+
+func TestSamplerRejectsRewind(t *testing.T) {
+	s := NewSampler(raplMeter())
+	s.ReadAt(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.ReadAt(1)
+}
+
+// Property: the sampler's monotone reads always match the counter on
+// random non-decreasing time sequences over random meters.
+func TestQuickSamplerConsistent(t *testing.T) {
+	f := func(durs []float64, steps []float64) bool {
+		m := NewMeter(true)
+		t0 := 0.0
+		for i, d := range durs {
+			d = math.Mod(math.Abs(d), 3) + 0.05
+			m.Record(i%4, "p", t0, d, float64(i%3)+1)
+			t0 += d * 0.6
+		}
+		s := NewSampler(m)
+		c := NewCounter(m)
+		tm := 0.0
+		for _, st := range steps {
+			tm += math.Mod(math.Abs(st), 2)
+			if math.IsNaN(tm) {
+				return true
+			}
+			if math.Abs(s.ReadAt(tm)-c.EnergyUpTo(tm)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

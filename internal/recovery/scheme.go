@@ -1,0 +1,139 @@
+// Package recovery implements the paper's recovery schemes (Table 2):
+//
+//	CR-D / CR-M  checkpoint to / rollback from disk or memory
+//	DMR (RD)     double modular redundancy
+//	F0           assign 0 to the lost block of x
+//	FI           assign the initial guess to the lost block
+//	LI           linear interpolation of the lost block (Eq. 17/19)
+//	LSI          least-squares interpolation (Eq. 18/20/21)
+//
+// LI and LSI come in two construction flavors: the prior-work exact
+// solvers (dense LU of the diagonal block; QR of the column block) and
+// the paper's Section 4 optimization, localized CG/CGLS with a
+// configurable tolerance, optionally combined with DVFS power management
+// of the non-reconstructing cores (Section 4.2).
+//
+// Every scheme is instantiated once per rank and invoked bulk-
+// synchronously: all ranks call Recover for the same fault, and all ranks
+// call AfterIteration with the same iteration count.
+package recovery
+
+import (
+	"resilience/internal/cluster"
+	"resilience/internal/fault"
+	"resilience/internal/platform"
+	"resilience/internal/solver"
+	"resilience/internal/vec"
+)
+
+// Phase labels used for power/energy attribution.
+const (
+	PhaseSolve       = "solve"
+	PhaseReconstruct = "reconstruct"
+	PhaseCheckpoint  = "checkpoint"
+	PhaseRollback    = "rollback"
+)
+
+// Ctx carries the per-rank context recovery code operates in.
+type Ctx struct {
+	C    *cluster.Comm
+	Op   *solver.LocalOp
+	St   *solver.State
+	Plat *platform.Platform
+}
+
+// Ranks returns the number of ranks in the run.
+func (ctx *Ctx) Ranks() int { return ctx.C.Size() }
+
+// Scheme is one recovery mechanism, instantiated per rank.
+type Scheme interface {
+	// Name returns the scheme's presentation name ("LI-DVFS", "CR-D", ...).
+	Name() string
+	// Recover repairs the solver state after fault f. It is called on
+	// every rank collectively. restart reports whether CG must rebuild
+	// R and P from X.
+	Recover(ctx *Ctx, f fault.Fault) (restart bool, err error)
+	// AfterIteration runs after every completed iteration (checkpoint /
+	// shadow hooks). completedIters counts executed iterations.
+	AfterIteration(ctx *Ctx, completedIters int) error
+	// Redundancy is the hardware multiplier the scheme needs: 1 for all
+	// schemes except modular redundancy (2 for DMR, 3 for TMR). Reports
+	// scale power and energy by it.
+	Redundancy() int
+}
+
+// Base provides no-op defaults for optional Scheme methods.
+type Base struct{}
+
+// AfterIteration implements Scheme with a no-op.
+func (Base) AfterIteration(*Ctx, int) error { return nil }
+
+// Redundancy implements Scheme: no redundant hardware.
+func (Base) Redundancy() int { return 1 }
+
+// F0 fills the lost block with zeros: the cheapest construction, the
+// slowest convergence (Section 3.2: T_const = 0, large T_extra).
+type F0 struct{ Base }
+
+// Name implements Scheme.
+func (F0) Name() string { return "F0" }
+
+// Recover implements Scheme.
+func (F0) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
+	if ctx.C.Rank() == f.Rank {
+		prev := ctx.C.SetPhase(PhaseReconstruct)
+		vec.Zero(ctx.St.X)
+		ctx.C.Compute(int64(len(ctx.St.X))) // a memset-scale pass
+		ctx.C.SetPhase(prev)
+	}
+	return true, nil
+}
+
+// FI fills the lost block with the initial guess.
+type FI struct {
+	Base
+	// X0 is the rank's block of the initial guess (zeros when nil).
+	X0 []float64
+}
+
+// Name implements Scheme.
+func (FI) Name() string { return "FI" }
+
+// Recover implements Scheme.
+func (s *FI) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
+	if ctx.C.Rank() == f.Rank {
+		prev := ctx.C.SetPhase(PhaseReconstruct)
+		if s.X0 == nil {
+			vec.Zero(ctx.St.X)
+		} else {
+			copy(ctx.St.X, s.X0)
+		}
+		ctx.C.Compute(int64(len(ctx.St.X)))
+		ctx.C.SetPhase(prev)
+	}
+	return true, nil
+}
+
+// parkOthers is the shared DVFS/idle pattern of Section 4.2: every rank
+// except the reconstructing one optionally drops to the lowest frequency,
+// waits at idle power for the reconstruction to finish (the trailing
+// barrier), then restores its frequency. The reconstructing rank calls
+// work() at full speed and joins the barrier last.
+func parkOthers(ctx *Ctx, failedRank int, dvfs bool, work func()) {
+	c := ctx.C
+	if c.Rank() == failedRank {
+		work()
+		c.Barrier()
+		return
+	}
+	prevIdle := c.SetWaitIdle(true)
+	prevFreq := c.Freq()
+	if dvfs {
+		c.SetFreq(ctx.Plat.FreqMin)
+	}
+	c.Barrier()
+	if dvfs {
+		c.SetFreq(prevFreq)
+	}
+	c.SetWaitIdle(prevIdle)
+}

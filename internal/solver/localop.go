@@ -1,0 +1,187 @@
+// Package solver implements the Conjugate Gradient method three ways:
+// distributed block-row CG over the cluster runtime (the paper's RAPtor
+// CG substitute), sequential CG, and CGLS (CG on the normal equations),
+// which the paper's Section 4 optimizations use for localized LI/LSI
+// reconstruction.
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"resilience/internal/cluster"
+	"resilience/internal/sparse"
+)
+
+// Setup/halo exchange message tags.
+const (
+	tagSetup = 100
+	tagHalo  = 101
+)
+
+// LocalOp is one rank's view of the distributed matrix: its row block
+// with columns remapped to [own | ghost] local indexing, plus the halo
+// communication plan. It provides the distributed SpMV y = (A p)_local.
+//
+// The communication plan requires a structurally symmetric matrix (true
+// for the SPD systems CG addresses): rank r needs values from rank o iff
+// o needs values from r, so need-lists can be exchanged pairwise.
+type LocalOp struct {
+	Part *sparse.Partition
+	Rank int
+	Lo   int // first owned global row
+	N    int // owned rows
+
+	RowBlock *sparse.CSR // A_{p,:} with global column indices
+	localA   *sparse.CSR // RowBlock with remapped columns
+
+	neighbors []int         // peer ranks, ascending
+	needIdx   map[int][]int // global cols needed from each neighbor (sorted)
+	sendIdx   map[int][]int // local row offsets each neighbor needs from us
+	ghostSlot map[int]int   // global col -> ghost slot
+	nGhost    int
+
+	xbuf    []float64 // [own | ghost] assembled vector
+	sendBuf []float64
+}
+
+// NewLocalOp builds the rank-local operator and performs the one-time
+// need-list exchange. Every rank must call it collectively. The matrix a
+// is shared read-only across ranks.
+func NewLocalOp(c *cluster.Comm, a *sparse.CSR, part *sparse.Partition) *LocalOp {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("solver: non-square matrix %s", a))
+	}
+	if part.N != a.Rows || part.P != c.Size() {
+		panic(fmt.Sprintf("solver: partition %d/%d does not match matrix %d / ranks %d",
+			part.N, part.P, a.Rows, c.Size()))
+	}
+	r := c.Rank()
+	lo, hi := part.Range(r)
+	op := &LocalOp{
+		Part:     part,
+		Rank:     r,
+		Lo:       lo,
+		N:        hi - lo,
+		RowBlock: part.RowBlock(a, r),
+		needIdx:  make(map[int][]int),
+		sendIdx:  make(map[int][]int),
+	}
+
+	// Group halo columns by owner.
+	halo := part.HaloCols(a, r)
+	op.ghostSlot = make(map[int]int, len(halo))
+	for slot, col := range halo {
+		op.ghostSlot[col] = slot
+		owner := part.Owner(col)
+		op.needIdx[owner] = append(op.needIdx[owner], col)
+	}
+	op.nGhost = len(halo)
+	for o := range op.needIdx {
+		op.neighbors = append(op.neighbors, o)
+	}
+	sort.Ints(op.neighbors)
+
+	// Pairwise exchange of need lists (symmetric neighbor relation).
+	for _, o := range op.neighbors {
+		c.SendInts(o, tagSetup, op.needIdx[o])
+	}
+	for _, o := range op.neighbors {
+		theirCols := c.RecvInts(o, tagSetup)
+		idx := make([]int, len(theirCols))
+		for i, col := range theirCols {
+			if col < lo || col >= hi {
+				panic(fmt.Sprintf("solver: rank %d asked for col %d not owned by %d", o, col, r))
+			}
+			idx[i] = col - lo
+		}
+		op.sendIdx[o] = idx
+	}
+
+	// Remap the row block columns into [own | ghost] indexing.
+	la := op.RowBlock.Clone()
+	la.Cols = op.N + op.nGhost
+	for k, col := range la.ColIdx {
+		if col >= lo && col < hi {
+			la.ColIdx[k] = col - lo
+		} else {
+			la.ColIdx[k] = op.N + op.ghostSlot[col]
+		}
+	}
+	// Note: remapping breaks the strictly-increasing column invariant
+	// within rows (ghosts land after own columns); SpMV does not require
+	// it, and localA is not exposed.
+	op.localA = la
+	op.xbuf = make([]float64, op.N+op.nGhost)
+	return op
+}
+
+// Neighbors returns the peer ranks this rank exchanges halo data with.
+func (op *LocalOp) Neighbors() []int { return op.neighbors }
+
+// NGhost returns the number of remote x entries this rank reads.
+func (op *LocalOp) NGhost() int { return op.nGhost }
+
+// GatherHalo exchanges halo values for the local vector x and returns the
+// assembled [own | ghost] buffer (valid until the next call). Every rank
+// must call it collectively. c must be the rank's own Comm.
+func (op *LocalOp) GatherHalo(c *cluster.Comm, x []float64) []float64 {
+	if len(x) != op.N {
+		panic(fmt.Sprintf("solver: GatherHalo len(x)=%d, want %d", len(x), op.N))
+	}
+	copy(op.xbuf[:op.N], x)
+	for _, o := range op.neighbors {
+		idx := op.sendIdx[o]
+		if cap(op.sendBuf) < len(idx) {
+			op.sendBuf = make([]float64, len(idx))
+		}
+		buf := op.sendBuf[:len(idx)]
+		for i, li := range idx {
+			buf[i] = x[li]
+		}
+		c.Send(o, tagHalo, buf)
+	}
+	for _, o := range op.neighbors {
+		vals := c.Recv(o, tagHalo)
+		cols := op.needIdx[o]
+		if len(vals) != len(cols) {
+			panic(fmt.Sprintf("solver: halo from %d has %d values, want %d", o, len(vals), len(cols)))
+		}
+		for i, col := range cols {
+			op.xbuf[op.N+op.ghostSlot[col]] = vals[i]
+		}
+	}
+	return op.xbuf
+}
+
+// MulVecDist computes the local block of the distributed product
+// y = A*x, where x and y are this rank's owned blocks. It performs the
+// halo exchange and charges the SpMV flops to the rank's clock.
+func (op *LocalOp) MulVecDist(c *cluster.Comm, y, x []float64) {
+	buf := op.GatherHalo(c, x)
+	op.localA.MulVec(y, buf)
+	c.Compute(op.localA.SpMVFlops())
+}
+
+// OffDiagApply computes y = b_local - sum_{j != rank} A_{rank,j} x_j given
+// an assembled [own|ghost] buffer from GatherHalo: the right-hand side of
+// the LI reconstruction (Eq. 19). Only ghost columns contribute to the
+// subtracted sum. Flops are charged to the rank's clock.
+func (op *LocalOp) OffDiagApply(c *cluster.Comm, y, bLocal []float64, buf []float64) {
+	if len(y) != op.N || len(bLocal) != op.N {
+		panic("solver: OffDiagApply dimension mismatch")
+	}
+	var flops int64
+	for i := 0; i < op.N; i++ {
+		s := bLocal[i]
+		lo, hi := op.localA.RowPtr[i], op.localA.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			if col := op.localA.ColIdx[k]; col >= op.N {
+				s -= op.localA.Val[k] * buf[col]
+				flops += 2
+			}
+		}
+		y[i] = s
+	}
+	c.Compute(flops)
+}

@@ -1,0 +1,125 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"resilience/internal/sparse"
+	"resilience/internal/vec"
+)
+
+// SeqPCG runs sequential preconditioned CG with a diagonal (Jacobi)
+// preconditioner: it solves Op*x = b with M = diag(d). The localized
+// LI/LSI constructions use it because the synthetic SPD spectra (and many
+// real ones) have strongly varying diagonals, where Jacobi scaling cuts
+// construction iterations dramatically — construction cost is the t_const
+// the paper's Section 4 optimizations target.
+//
+// Convergence is measured on the true residual norm ||b - Op x|| relative
+// to ||b||, matching SeqCG's criterion.
+func SeqPCG(apply ApplyFunc, flopsPerApply int64, diag, b, x []float64, tol float64, maxIters int) SeqResult {
+	n := len(b)
+	if len(x) != n || len(diag) != n {
+		panic(fmt.Sprintf("solver: SeqPCG len(x)=%d len(diag)=%d len(b)=%d", len(x), len(diag), n))
+	}
+	if maxIters <= 0 {
+		maxIters = 10 * n
+	}
+	res := SeqResult{}
+
+	invD := make([]float64, n)
+	for i, d := range diag {
+		if d <= 0 || math.IsNaN(d) {
+			// Non-SPD-consistent diagonal: fall back to identity scaling
+			// for that entry rather than failing the reconstruction.
+			invD[i] = 1
+			continue
+		}
+		invD[i] = 1 / d
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+
+	apply(r, x)
+	vec.Sub(r, b, r)
+	res.Flops += flopsPerApply + int64(n)
+	for i := range z {
+		z[i] = invD[i] * r[i]
+	}
+	res.Flops += int64(n)
+	copy(p, z)
+	rho := vec.Dot(r, z)
+	rr := vec.Dot(r, r)
+	res.Flops += 2 * vec.DotFlops(n)
+	normB := vec.Nrm2(b)
+	res.Flops += vec.Nrm2Flops(n)
+	if normB == 0 {
+		normB = 1
+	}
+
+	for res.Iters = 0; res.Iters < maxIters; res.Iters++ {
+		res.RelRes = math.Sqrt(rr) / normB
+		if res.RelRes <= tol {
+			res.Converged = true
+			return res
+		}
+		apply(q, p)
+		pq := vec.Dot(p, q)
+		res.Flops += flopsPerApply + vec.DotFlops(n)
+		if pq <= 0 || math.IsNaN(pq) {
+			return res
+		}
+		alpha := rho / pq
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, q, r)
+		res.Flops += 2 * vec.AxpyFlops(n)
+		for i := range z {
+			z[i] = invD[i] * r[i]
+		}
+		rhoNew := vec.Dot(r, z)
+		rr = vec.Dot(r, r)
+		res.Flops += int64(n) + 2*vec.DotFlops(n)
+		beta := rhoNew / rho
+		vec.Xpby(z, beta, p)
+		res.Flops += 2 * int64(n)
+		rho = rhoNew
+	}
+	res.RelRes = math.Sqrt(rr) / normB
+	res.Converged = res.RelRes <= tol
+	return res
+}
+
+// SeqPCGMatrix is SeqPCG on a CSR operator with its own diagonal as the
+// preconditioner.
+func SeqPCGMatrix(a *sparse.CSR, b, x []float64, tol float64, maxIters int) SeqResult {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		panic(fmt.Sprintf("solver: SeqPCGMatrix %s with len(b)=%d", a, len(b)))
+	}
+	return SeqPCG(func(y, v []float64) { a.MulVec(y, v) }, a.SpMVFlops(), a.Diag(), b, x, tol, maxIters)
+}
+
+// PCGLS solves min ||rhs' - G x|| for the LSI normal-equation operator
+// G = M*Mᵀ with Jacobi preconditioning by diag(G)_i = ||row_i(M)||².
+func PCGLS(m *sparse.CSR, rhs, x []float64, tol float64, maxIters int) SeqResult {
+	if len(rhs) != m.Rows || len(x) != m.Rows {
+		panic(fmt.Sprintf("solver: PCGLS %s with len(rhs)=%d len(x)=%d", m, len(rhs), len(x)))
+	}
+	diag := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		_, vals := m.Row(i)
+		var s float64
+		for _, v := range vals {
+			s += v * v
+		}
+		diag[i] = s
+	}
+	tmp := make([]float64, m.Cols)
+	apply := func(y, v []float64) {
+		m.MulTransVec(tmp, v)
+		m.MulVec(y, tmp)
+	}
+	return SeqPCG(apply, 2*m.SpMVFlops(), diag, rhs, x, tol, maxIters)
+}

@@ -1,0 +1,159 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := randomCSR(9, 7, 0.3, 11)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+		t.Fatalf("shape mismatch: %v vs %v", back, m)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if math.Abs(back.At(i, j)-m.At(i, j)) > 1e-15 {
+				t.Fatalf("(%d,%d): %g != %g", i, j, back.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQuickMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomCSR(1+int(seed%13+13)%13, 1+int(seed%7+7)%7, 0.4, seed)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				if back.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadSymmetricExpansion(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 2 2.0
+3 3 2.0
+2 1 -1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 5 {
+		t.Fatalf("symmetric expansion NNZ=%d want 5", m.NNZ())
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 {
+		t.Error("mirror entry missing")
+	}
+	if !m.IsSymmetric(1e-15) {
+		t.Error("expanded matrix not symmetric")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "%%NotMatrixMarket\n1 1 0\n",
+		"bad format":     "%%MatrixMarket matrix array real general\n1 1\n",
+		"bad symmetry":   "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"missing size":   "%%MatrixMarket matrix coordinate real general\n",
+		"short entries":  "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n",
+		"out of bounds":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 zap\n",
+		"bad row index":  "%%MatrixMarket matrix coordinate real general\n1 1 1\nx 1 1.0\n",
+		"negative sizes": "%%MatrixMarket matrix coordinate real general\n-1 2 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% comment one
+
+% comment two
+2 2 2
+1 1 1.5
+
+% inline comment
+2 2 2.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1.5 || m.At(1, 1) != 2.5 {
+		t.Error("values wrong after comment skipping")
+	}
+}
+
+func TestCOODuplicatesSum(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 0, 2)
+	coo.Add(1, 1, 5)
+	m := coo.ToCSR()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ=%d want 2", m.NNZ())
+	}
+	if m.At(0, 0) != 3 {
+		t.Errorf("duplicate sum got %g", m.At(0, 0))
+	}
+}
+
+func TestCOOEmptyRows(t *testing.T) {
+	coo := NewCOO(5, 5)
+	coo.Add(4, 4, 1)
+	m := coo.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.RowNNZ(0) != 0 || m.RowNNZ(4) != 1 {
+		t.Error("empty leading rows mishandled")
+	}
+}
+
+func TestCOOAddPanicsOutOfBounds(t *testing.T) {
+	coo := NewCOO(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	coo.Add(2, 0, 1)
+}

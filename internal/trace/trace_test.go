@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndFilter(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Kind: Iteration, Iter: 0, RelRes: 1})
+	tr.Add(Event{Kind: FaultEvent, Iter: 5, Detail: "SNF on rank 2"})
+	tr.Add(Event{Kind: Iteration, Iter: 1, RelRes: 0.5})
+	if tr.Len() != 3 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	iters := tr.Filter(Iteration)
+	if len(iters) != 2 || iters[1].RelRes != 0.5 {
+		t.Errorf("filter got %v", iters)
+	}
+	if len(tr.Filter(CheckpointEvent)) != 0 {
+		t.Error("empty filter must be empty")
+	}
+}
+
+func TestResidualSeries(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Kind: Iteration, Iter: 0, RelRes: 1})
+	tr.Add(Event{Kind: FaultEvent, Iter: 1})
+	tr.Add(Event{Kind: Iteration, Iter: 1, RelRes: 0.1})
+	is, rs := tr.ResidualSeries()
+	if len(is) != 2 || is[1] != 1 || rs[1] != 0.1 {
+		t.Errorf("series %v %v", is, rs)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New()
+	tr.Add(Event{Kind: Iteration, Iter: 3, Clock: 0.25, RelRes: 1e-3})
+	tr.Add(Event{Kind: FaultEvent, Iter: 4, Detail: `has,comma and "quote"`})
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "kind,iter,clock,relres,detail\n") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "iter,3,0.25,0.001,") {
+		t.Errorf("iteration row missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"has,comma and ""quote"""`) {
+		t.Errorf("detail quoting wrong:\n%s", out)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Add(Event{Kind: Iteration, Iter: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Errorf("len %d", tr.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Iteration.String() != "iter" || ConvergedEvent.String() != "converged" {
+		t.Error("kind names")
+	}
+	if EventKind(99).String() == "iter" {
+		t.Error("unknown kind")
+	}
+}

@@ -1,0 +1,190 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		x, y []float64
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]float64{1}, []float64{2}, 2},
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{-1, 1}, []float64{1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.x, c.y); got != c.want {
+			t.Errorf("Dot(%v,%v)=%g want %g", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNrm2(t *testing.T) {
+	if got := Nrm2([]float64{3, 4}); !almostEq(got, 5, 1e-15) {
+		t.Errorf("Nrm2{3,4}=%g want 5", got)
+	}
+	if got := Nrm2(nil); got != 0 {
+		t.Errorf("Nrm2(nil)=%g want 0", got)
+	}
+	// Overflow robustness: naive sum of squares would overflow.
+	big := []float64{1e200, 1e200}
+	if got := Nrm2(big); math.IsInf(got, 0) || !almostEq(got, 1e200*math.Sqrt2, 1e-12) {
+		t.Errorf("Nrm2 overflow-robustness failed: %g", got)
+	}
+}
+
+func TestAxpyScalCopy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Axpy(2, x, y)
+	want := []float64{12, 24, 36}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy got %v want %v", y, want)
+		}
+	}
+	Scal(0.5, y)
+	for i := range y {
+		if y[i] != want[i]/2 {
+			t.Fatalf("Scal got %v", y)
+		}
+	}
+	dst := make([]float64, 3)
+	Copy(dst, y)
+	for i := range dst {
+		if dst[i] != y[i] {
+			t.Fatalf("Copy got %v want %v", dst, y)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := []float64{1, 2}
+	c := Clone(x)
+	c[0] = 99
+	if x[0] != 1 {
+		t.Error("Clone aliases its input")
+	}
+}
+
+func TestSubAddXpby(t *testing.T) {
+	a := []float64{5, 7}
+	b := []float64{2, 3}
+	d := make([]float64, 2)
+	Sub(d, a, b)
+	if d[0] != 3 || d[1] != 4 {
+		t.Errorf("Sub got %v", d)
+	}
+	Add(d, a, b)
+	if d[0] != 7 || d[1] != 10 {
+		t.Errorf("Add got %v", d)
+	}
+	y := []float64{1, 1}
+	Xpby(a, 2, y) // y = a + 2*y
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("Xpby got %v", y)
+	}
+}
+
+func TestFillZeroMaxAbs(t *testing.T) {
+	x := make([]float64, 4)
+	Fill(x, -2.5)
+	if MaxAbs(x) != 2.5 {
+		t.Errorf("MaxAbs got %g", MaxAbs(x))
+	}
+	Zero(x)
+	if MaxAbs(x) != 0 {
+		t.Errorf("Zero failed: %v", x)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Error("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestDist2(t *testing.T) {
+	if got := Dist2([]float64{0, 0}, []float64{3, 4}); !almostEq(got, 5, 1e-15) {
+		t.Errorf("Dist2 got %g", got)
+	}
+}
+
+// Property: Dot is symmetric and bilinear (quick-check).
+func TestQuickDotSymmetry(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Clamp to avoid Inf-Inf = NaN in the reference comparison.
+		for i := range xs {
+			if math.Abs(xs[i]) > 1e100 || math.IsNaN(xs[i]) {
+				xs[i] = 1
+			}
+		}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = float64(i) - 1.5
+		}
+		return Dot(xs, ys) == Dot(ys, xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ||x||² == Dot(x, x) within rounding.
+func TestQuickNrm2MatchesDot(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Clamp inputs to a sane range to avoid overflow in Dot (Nrm2 is
+		// robust but Dot is not, by design).
+		for i := range xs {
+			if math.Abs(xs[i]) > 1e100 || math.IsNaN(xs[i]) {
+				xs[i] = 1
+			}
+		}
+		n := Nrm2(xs)
+		return almostEq(n*n, Dot(xs, xs), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Axpy(-1, x, x') zeroes a copy of x.
+func TestQuickAxpySelfCancel(t *testing.T) {
+	f := func(xs []float64) bool {
+		y := Clone(xs)
+		Axpy(-1, xs, y)
+		return MaxAbs(y) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if DotFlops(10) != 20 || AxpyFlops(10) != 20 || Nrm2Flops(10) != 20 {
+		t.Error("flop count helpers changed unexpectedly")
+	}
+}

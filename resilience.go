@@ -1,0 +1,225 @@
+// Package resilience is the public API of this repository: an
+// energy-aware resilient sparse linear solver toolkit reproducing
+// Miao, Calhoun and Ge, "Energy Analysis and Optimization for Resilient
+// Scalable Linear Systems" (IEEE CLUSTER 2018).
+//
+// It solves SPD systems with distributed Conjugate Gradient on a
+// simulated cluster (message-passing runtime, virtual time, power
+// metering, DVFS), injects hard/soft faults, recovers with the paper's
+// schemes (checkpoint/restart, modular redundancy, forward recovery with
+// localized CG construction and DVFS power management), and reports
+// time-to-solution, energy-to-solution, average power and iteration
+// counts.
+//
+// Quick start:
+//
+//	a := resilience.Laplacian2D(64)
+//	b, _ := resilience.RHS(a)
+//	rep, err := resilience.Solve(a, b, resilience.SolveOptions{
+//		Scheme: "LI-DVFS",
+//		Ranks:  16,
+//		Faults: 5,
+//	})
+//
+// The experiment harness regenerating every table and figure of the
+// paper is exposed through Experiments and RunExperiment.
+package resilience
+
+import (
+	"fmt"
+
+	"resilience/internal/core"
+	"resilience/internal/experiments"
+	"resilience/internal/fault"
+	"resilience/internal/matgen"
+	"resilience/internal/platform"
+	"resilience/internal/sparse"
+	"resilience/internal/trace"
+)
+
+// Matrix is a sparse matrix in CSR format.
+type Matrix = sparse.CSR
+
+// Platform describes the simulated machine (cores, DVFS ladder, power
+// curves, network and storage parameters).
+type Platform = platform.Platform
+
+// Report is the outcome of one resilient solve.
+type Report = core.RunReport
+
+// Fault is one injected fault event.
+type Fault = fault.Fault
+
+// Trace is a structured per-iteration event log (see NewTrace).
+type Trace = trace.Trace
+
+// NewTrace returns an empty trace to pass in SolveOptions.Trace.
+func NewTrace() *Trace { return trace.New() }
+
+// DefaultPlatform returns the paper's 8-node, 192-core cluster.
+func DefaultPlatform() *Platform { return platform.Default() }
+
+// Laplacian2D returns the 5-point stencil Poisson matrix on a g x g grid.
+func Laplacian2D(g int) *Matrix { return matgen.Laplacian2D(g) }
+
+// Laplacian3D returns the 7-point stencil Poisson matrix on a g³ grid.
+func Laplacian3D(g int) *Matrix { return matgen.Laplacian3D(g) }
+
+// RHS builds b = A*x_true for a smooth known x_true and returns both.
+func RHS(a *Matrix) (b, xTrue []float64) { return matgen.RHS(a) }
+
+// CatalogMatrix generates the named Table 3 analog ("Kuu", "crystm02",
+// "nd24k", ...) at scale "tiny", "ci" or "paper".
+func CatalogMatrix(name, scale string) (*Matrix, error) {
+	sc, err := matgen.ParseScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := matgen.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(sc), nil
+}
+
+// CatalogNames lists the Table 3 matrix names.
+func CatalogNames() []string {
+	var names []string
+	for _, s := range matgen.Catalog() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// SolveOptions configure a resilient solve.
+type SolveOptions struct {
+	// Scheme selects the recovery mechanism: FF, F0, FI, LI, LI-DVFS,
+	// LI(LU), LSI, LSI-DVFS, LSI(QR), CR-M, CR-D, RD, TMR.
+	Scheme string
+	// Ranks is the number of simulated MPI processes (default 16).
+	Ranks int
+	// Tol is the CG relative-residual target (default 1e-12, the paper's).
+	Tol float64
+	// MaxIters caps executed iterations (default 10x matrix dimension).
+	MaxIters int
+
+	// Faults > 0 injects that many faults evenly spaced over the
+	// fault-free iteration count (the paper's Section 5.2 protocol).
+	Faults int
+	// MTBF > 0 instead injects Poisson faults with this mean time between
+	// failures in virtual seconds (the Section 5.3 protocol). At most one
+	// of Faults/MTBF may be set.
+	MTBF float64
+	// FaultClass defaults to SNF (single node failure).
+	FaultClass fault.Class
+
+	// CkptEvery sets a fixed checkpoint interval in iterations for CR
+	// schemes; zero derives it from Young's formula and the fault rate.
+	CkptEvery int
+	// LocalTol is the LI/LSI localized construction tolerance (1e-6).
+	LocalTol float64
+	// Jacobi enables diagonal preconditioning of the distributed CG
+	// (extension beyond the paper).
+	Jacobi bool
+
+	Platform *Platform
+	// KeepPowerSegments retains the full power trace for profiles.
+	KeepPowerSegments bool
+	// Trace, when non-nil, receives structured per-iteration and fault/
+	// recovery events (CSV-exportable; see NewTrace).
+	Trace *Trace
+	Seed  int64
+}
+
+// Solve runs a resilient distributed CG solve of A x = b.
+func Solve(a *Matrix, b []float64, opts SolveOptions) (*Report, error) {
+	if opts.Ranks == 0 {
+		opts.Ranks = 16
+	}
+	if opts.Scheme == "" {
+		opts.Scheme = "FF"
+	}
+	spec, err := ParseScheme(opts.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	spec.CkptEvery = opts.CkptEvery
+	spec.LocalTol = opts.LocalTol
+	if opts.Faults > 0 && opts.MTBF > 0 {
+		return nil, fmt.Errorf("resilience: set either Faults or MTBF, not both")
+	}
+
+	cfg := core.RunConfig{
+		A:            a,
+		B:            b,
+		Ranks:        opts.Ranks,
+		Plat:         opts.Platform,
+		Scheme:       spec,
+		Tol:          opts.Tol,
+		MaxIters:     opts.MaxIters,
+		Jacobi:       opts.Jacobi,
+		KeepSegments: opts.KeepPowerSegments,
+		Trace:        opts.Trace,
+		Seed:         opts.Seed,
+	}
+
+	if spec.Kind != core.FF && (opts.Faults > 0 || opts.MTBF > 0) {
+		class := opts.FaultClass
+		ranks := opts.Ranks
+		seed := opts.Seed
+		if opts.Faults > 0 {
+			// The schedule is anchored on the fault-free iteration count.
+			ff := cfg
+			ff.Scheme = core.SchemeSpec{Kind: core.FF}
+			ffRep, err := core.Run(ff)
+			if err != nil {
+				return nil, fmt.Errorf("resilience: fault-free baseline: %w", err)
+			}
+			nFaults := opts.Faults
+			ffIters := ffRep.Iters
+			cfg.InjectorFactory = func() fault.Injector {
+				return fault.NewSchedule(nFaults, ffIters, ranks, class, seed)
+			}
+			if isCR(spec.Kind) && spec.CkptEvery == 0 {
+				cfg.Scheme.CkptMTBF = ffRep.Time / float64(nFaults)
+			}
+		} else {
+			mtbf := opts.MTBF
+			cfg.InjectorFactory = func() fault.Injector {
+				return fault.NewPoisson(mtbf, ranks, class, seed)
+			}
+			if isCR(spec.Kind) && spec.CkptEvery == 0 {
+				cfg.Scheme.CkptMTBF = mtbf
+			}
+		}
+	}
+	return core.Run(cfg)
+}
+
+// isCR reports whether the scheme kind needs a checkpoint policy.
+func isCR(k core.SchemeKind) bool {
+	return k == core.CRM || k == core.CRD || k == core.CR2L
+}
+
+// Experiment is a registered paper experiment.
+type Experiment = experiments.Runner
+
+// ExperimentResult is an experiment's rendered output.
+type ExperimentResult = experiments.Result
+
+// Experiments lists every registered table/figure runner in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes one experiment by id ("fig5", "tab6", ...) at
+// scale "tiny", "ci" or "paper".
+func RunExperiment(id, scale string) (*ExperimentResult, error) {
+	sc, err := matgen.ParseScale(scale)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := experiments.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("resilience: unknown experiment %q", id)
+	}
+	return r.Run(experiments.Default(sc))
+}

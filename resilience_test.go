@@ -1,0 +1,224 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/fault"
+)
+
+func TestSolveFaultFree(t *testing.T) {
+	a := Laplacian2D(16)
+	b, xTrue := RHS(a)
+	rep, err := Solve(a, b, SolveOptions{Ranks: 4, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatal("did not converge")
+	}
+	var maxErr float64
+	for i := range xTrue {
+		if d := math.Abs(rep.Solution[i] - xTrue[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Errorf("solution error %g", maxErr)
+	}
+}
+
+func TestSolveAllPublicSchemes(t *testing.T) {
+	a := Laplacian2D(12)
+	b, _ := RHS(a)
+	for _, scheme := range SchemeNames() {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			opts := SolveOptions{Scheme: scheme, Ranks: 4, Tol: 1e-9}
+			if scheme != "FF" {
+				opts.Faults = 2
+			}
+			rep, err := Solve(a, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Converged {
+				t.Errorf("%s did not converge (relres %g)", scheme, rep.RelRes)
+			}
+			if scheme != "FF" && len(rep.Faults) != 2 {
+				t.Errorf("%s saw %d faults", scheme, len(rep.Faults))
+			}
+		})
+	}
+}
+
+func TestSolveRejectsConflictingFaultModes(t *testing.T) {
+	a := Laplacian2D(8)
+	b, _ := RHS(a)
+	if _, err := Solve(a, b, SolveOptions{Scheme: "LI", Faults: 1, MTBF: 1}); err == nil {
+		t.Error("Faults+MTBF accepted")
+	}
+}
+
+func TestSolvePoissonMode(t *testing.T) {
+	a := Laplacian2D(16)
+	b, _ := RHS(a)
+	ff, err := Solve(a, b, SolveOptions{Ranks: 4, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Solve(a, b, SolveOptions{
+		Scheme: "LI", Ranks: 4, Tol: 1e-9, MTBF: ff.Time / 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Error("Poisson-mode solve did not converge")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, name := range SchemeNames() {
+		if _, err := ParseScheme(name); err != nil {
+			t.Errorf("ParseScheme(%s): %v", name, err)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	// Case-insensitive.
+	if _, err := ParseScheme("li-dvfs"); err != nil {
+		t.Error("lowercase rejected")
+	}
+}
+
+func TestCatalogAccess(t *testing.T) {
+	names := CatalogNames()
+	if len(names) != 14 {
+		t.Fatalf("%d catalog names", len(names))
+	}
+	a, err := CatalogMatrix("Kuu", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows == 0 {
+		t.Error("empty matrix")
+	}
+	if _, err := CatalogMatrix("Kuu", "bogus"); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if _, err := CatalogMatrix("bogus", "tiny"); err == nil {
+		t.Error("bad name accepted")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 12 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	want := map[string]bool{
+		"fig1": true, "fig3": true, "fig4": true, "fig5": true, "fig6": true,
+		"fig7": true, "fig8": true, "fig9": true,
+		"tab3": true, "tab4": true, "tab5": true, "tab6": true,
+	}
+	for _, e := range exps {
+		delete(want, e.ID)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing experiments: %v", want)
+	}
+}
+
+func TestRunExperimentTiny(t *testing.T) {
+	res, err := RunExperiment("fig1", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 {
+		t.Error("no tables")
+	}
+	if _, err := RunExperiment("bogus", "tiny"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := RunExperiment("fig1", "bogus"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestSolveCR2L(t *testing.T) {
+	a := Laplacian2D(16)
+	b, _ := RHS(a)
+	rep, err := Solve(a, b, SolveOptions{
+		Scheme: "CR-2L", Ranks: 4, Tol: 1e-9, Faults: 3, CkptEvery: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || rep.Checkpoints == 0 {
+		t.Errorf("CR-2L converged=%v checkpoints=%d", rep.Converged, rep.Checkpoints)
+	}
+}
+
+func TestSolveJacobi(t *testing.T) {
+	a, err := CatalogMatrix("cvxbqp1", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RHS(a)
+	plain, err := Solve(a, b, SolveOptions{Ranks: 4, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcg, err := Solve(a, b, SolveOptions{Ranks: 4, Tol: 1e-10, Jacobi: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pcg.Converged {
+		t.Fatal("Jacobi solve did not converge")
+	}
+	if pcg.Iters >= plain.Iters {
+		t.Errorf("Jacobi %d iterations not below plain %d", pcg.Iters, plain.Iters)
+	}
+}
+
+func TestSolveKeepPowerSegments(t *testing.T) {
+	a := Laplacian2D(12)
+	b, _ := RHS(a)
+	rep, err := Solve(a, b, SolveOptions{
+		Scheme: "LI", Ranks: 4, Tol: 1e-9, Faults: 2, KeepPowerSegments: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meter == nil || len(rep.Meter.Segments()) == 0 {
+		t.Error("power segments not retained")
+	}
+	if len(rep.Meter.PhaseWindows("reconstruct")) == 0 {
+		t.Error("no reconstruction windows recorded")
+	}
+}
+
+func TestSolveSDCFaultClass(t *testing.T) {
+	a := Laplacian2D(16)
+	b, xTrue := RHS(a)
+	rep, err := Solve(a, b, SolveOptions{
+		Scheme: "LSI", Ranks: 4, Tol: 1e-9, Faults: 2, FaultClass: fault.SDC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatal("SDC run did not converge")
+	}
+	var maxErr float64
+	for i := range xTrue {
+		if d := math.Abs(rep.Solution[i] - xTrue[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-5 {
+		t.Errorf("solution error %g after SDC recovery", maxErr)
+	}
+}
