@@ -13,6 +13,13 @@ import (
 	"fmt"
 	"os"
 	"testing"
+
+	"resilience/internal/cluster"
+	"resilience/internal/platform"
+	"resilience/internal/power"
+	"resilience/internal/solver"
+	"resilience/internal/sparse"
+	"resilience/internal/vec"
 )
 
 func benchScale() string {
@@ -70,6 +77,7 @@ func BenchmarkAblationConstructionCost(b *testing.B) { benchExperiment(b, "ablat
 func BenchmarkSolveFaultFree(b *testing.B) {
 	a := Laplacian2D(48)
 	rhs, _ := RHS(a)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := Solve(a, rhs, SolveOptions{Ranks: 8, Tol: 1e-10})
@@ -82,6 +90,7 @@ func BenchmarkSolveFaultFree(b *testing.B) {
 func BenchmarkSolveWithLIRecovery(b *testing.B) {
 	a := Laplacian2D(48)
 	rhs, _ := RHS(a)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := Solve(a, rhs, SolveOptions{Scheme: "LI-DVFS", Ranks: 8, Tol: 1e-10, Faults: 3})
@@ -94,6 +103,7 @@ func BenchmarkSolveWithLIRecovery(b *testing.B) {
 func BenchmarkSolveWithCheckpointing(b *testing.B) {
 	a := Laplacian2D(48)
 	rhs, _ := RHS(a)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := Solve(a, rhs, SolveOptions{Scheme: "CR-M", Ranks: 8, Tol: 1e-10, Faults: 3, CkptEvery: 25})
@@ -111,8 +121,75 @@ func BenchmarkSpMV(b *testing.B) {
 		x[i] = float64(i)
 	}
 	b.SetBytes(int64(8 * a.NNZ()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.MulVec(y, x)
+	}
+}
+
+// BenchmarkAllreduceScalar measures one scalar allreduce across 4
+// simulated ranks per op. The setup cost of the cluster is amortized over
+// b.N; steady state must be 0 allocs/op (the scalar fast path never
+// touches the heap).
+func BenchmarkAllreduceScalar(b *testing.B) {
+	b.ReportAllocs()
+	_, err := cluster.Run(4, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+		for i := 0; i < b.N; i++ {
+			c.AllreduceScalarSum(float64(c.Rank()))
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCGIteration measures one full distributed CG inner iteration
+// (halo exchange + SpMV, two dots, two scalar allreduces, the fused
+// axpy/dot updates) on 4 ranks per op. The Krylov recurrence is
+// re-anchored from a zeroed iterate every 50 iterations with pure
+// copies, so the loop runs indefinitely; steady state must be 0
+// allocs/op.
+func BenchmarkCGIteration(b *testing.B) {
+	a := Laplacian2D(32) // 1024 rows
+	rhs, _ := RHS(a)
+	const ranks = 4
+	part := sparse.NewPartition(a.Rows, ranks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err := cluster.Run(ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+		op := solver.NewLocalOp(c, a, part)
+		n := op.N
+		bl := make([]float64, n)
+		copy(bl, part.Slice(rhs, c.Rank()))
+		x := make([]float64, n)
+		r := make([]float64, n)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		restart := func() float64 {
+			vec.Zero(x)
+			op.MulVecDist(c, r, x)
+			vec.Sub(r, bl, r)
+			copy(p, r)
+			return c.AllreduceScalarSum(vec.Dot(r, r))
+		}
+		rho := restart()
+		for i := 0; i < b.N; i++ {
+			if i%50 == 49 {
+				rho = restart()
+			}
+			op.MulVecDist(c, q, p)
+			pq := c.AllreduceScalarSum(vec.Dot(p, q))
+			alpha := rho / pq
+			vec.Axpy(alpha, p, x)
+			rhoNew := c.AllreduceScalarSum(vec.AxpyDot(-alpha, q, r))
+			vec.Xpby(r, rhoNew/rho, p)
+			rho = rhoNew
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 }

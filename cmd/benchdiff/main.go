@@ -1,0 +1,348 @@
+// Command benchdiff runs the repository's performance suite through
+// testing.Benchmark, writes the results as JSON, and optionally compares
+// them against a baseline file, failing (exit 1) on regressions.
+//
+// Usage:
+//
+//	benchdiff -out BENCH_1.json
+//	benchdiff -out BENCH_2.json -baseline BENCH_1.json -threshold 0.2
+//	benchdiff -filter SpMV -artifacts=false
+//	benchdiff -list
+//
+// A benchmark regresses when its ns/op grows by more than the threshold
+// fraction over the baseline, or when its allocs/op increase at all (a
+// zero-allocation kernel starting to allocate is always a regression,
+// whatever the timing noise says).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience"
+	"resilience/internal/cluster"
+	"resilience/internal/platform"
+	"resilience/internal/power"
+	"resilience/internal/solver"
+	"resilience/internal/sparse"
+	"resilience/internal/vec"
+)
+
+// Schema identifies the JSON layout this command writes.
+const Schema = "resilience-benchdiff/1"
+
+// Record is one benchmark's measured cost.
+type Record struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// File is the on-disk result set.
+type File struct {
+	Schema      string            `json:"schema"`
+	CreatedUnix int64             `json:"created_unix"`
+	GoMaxProcs  int               `json:"go_maxprocs"`
+	Benchmarks  map[string]Record `json:"benchmarks"`
+}
+
+// Regression is one baseline comparison that exceeded the threshold.
+type Regression struct {
+	Name   string
+	Reason string
+}
+
+// Diff compares cur against base. Missing or added benchmarks are not
+// regressions (the suite evolves); only measured-vs-measured pairs count.
+func Diff(base, cur map[string]Record, threshold float64) []Regression {
+	var regs []Regression
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		c := cur[name]
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+threshold) {
+			regs = append(regs, Regression{name, fmt.Sprintf("ns/op %.0f -> %.0f (+%.1f%% > %.0f%%)",
+				b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*threshold)})
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			regs = append(regs, Regression{name, fmt.Sprintf("allocs/op %d -> %d",
+				b.AllocsPerOp, c.AllocsPerOp)})
+		}
+	}
+	return regs
+}
+
+// namedBench is one suite entry.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// suite assembles the benchmark list: the hot kernels always, plus the
+// paper-artifact experiments when artifacts is true.
+func suite(scale string, artifacts bool) []namedBench {
+	benches := kernelSuite()
+	if artifacts {
+		for _, r := range resilience.Experiments() {
+			id := r.ID
+			benches = append(benches, namedBench{
+				name: "Experiment/" + id + "@" + scale,
+				fn: func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := resilience.RunExperiment(id, scale); err != nil {
+							b.Fatal(err)
+						}
+					}
+				},
+			})
+		}
+	}
+	return benches
+}
+
+func kernelSuite() []namedBench {
+	const n = 4096
+	mkVec := func(seed float64) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = seed + float64(i%17)/17
+		}
+		return v
+	}
+	return []namedBench{
+		{"SpMV/Laplacian2D-128", func(b *testing.B) {
+			a := resilience.Laplacian2D(128)
+			x, y := make([]float64, a.Rows), make([]float64, a.Rows)
+			for i := range x {
+				x[i] = float64(i % 31)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.MulVec(y, x)
+			}
+		}},
+		{"SpMVTransAdd/Laplacian2D-128", func(b *testing.B) {
+			a := resilience.Laplacian2D(128)
+			x, y := make([]float64, a.Rows), make([]float64, a.Rows)
+			for i := range x {
+				x[i] = float64(i % 31)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.MulTransVecAdd(y, x)
+			}
+		}},
+		{"Dot/4096", func(b *testing.B) {
+			x, y := mkVec(1), mkVec(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = vec.Dot(x, y)
+			}
+		}},
+		{"Axpy/4096", func(b *testing.B) {
+			x, y := mkVec(1), mkVec(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vec.Axpy(1e-9, x, y)
+			}
+		}},
+		{"DotAxpy/4096", func(b *testing.B) {
+			x, y, z := mkVec(1), mkVec(2), mkVec(3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = vec.DotAxpy(1e-9, x, y, z)
+			}
+		}},
+		{"AxpyDot/4096", func(b *testing.B) {
+			x, y := mkVec(1), mkVec(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = vec.AxpyDot(1e-9, x, y)
+			}
+		}},
+		{"AllreduceScalar/p4", func(b *testing.B) {
+			b.ReportAllocs()
+			_, err := cluster.Run(4, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+				for i := 0; i < b.N; i++ {
+					c.AllreduceScalarSum(float64(c.Rank()))
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"CGIteration/p4-g32", func(b *testing.B) {
+			a := resilience.Laplacian2D(32)
+			rhs, _ := resilience.RHS(a)
+			const ranks = 4
+			part := sparse.NewPartition(a.Rows, ranks)
+			b.ReportAllocs()
+			b.ResetTimer()
+			_, err := cluster.Run(ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+				op := solver.NewLocalOp(c, a, part)
+				bl := make([]float64, op.N)
+				copy(bl, part.Slice(rhs, c.Rank()))
+				x := make([]float64, op.N)
+				r := make([]float64, op.N)
+				p := make([]float64, op.N)
+				q := make([]float64, op.N)
+				restart := func() float64 {
+					vec.Zero(x)
+					op.MulVecDist(c, r, x)
+					vec.Sub(r, bl, r)
+					copy(p, r)
+					return c.AllreduceScalarSum(vec.Dot(r, r))
+				}
+				rho := restart()
+				for i := 0; i < b.N; i++ {
+					if i%50 == 49 {
+						rho = restart()
+					}
+					op.MulVecDist(c, q, p)
+					pq := c.AllreduceScalarSum(vec.Dot(p, q))
+					alpha := rho / pq
+					vec.Axpy(alpha, p, x)
+					rhoNew := c.AllreduceScalarSum(vec.AxpyDot(-alpha, q, r))
+					vec.Xpby(r, rhoNew/rho, p)
+					rho = rhoNew
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}},
+	}
+}
+
+// sink defeats dead-code elimination of pure kernels.
+var sink float64
+
+// runSuite executes the matching benchmarks and collects records.
+func runSuite(benches []namedBench, filter string) map[string]Record {
+	out := make(map[string]Record, len(benches))
+	for _, nb := range benches {
+		if filter != "" && !strings.Contains(nb.name, filter) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %-32s ", nb.name)
+		r := testing.Benchmark(nb.fn)
+		rec := Record{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %8d B/op %6d allocs/op\n",
+			rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		out[nb.name] = rec
+	}
+	return out
+}
+
+func readBaseline(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("%s: unexpected schema %q (want %q)", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+func writeResults(path string, recs map[string]Record) error {
+	f := File{
+		Schema:      Schema,
+		CreatedUnix: time.Now().Unix(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Benchmarks:  recs,
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "write results to this JSON file ('' to skip)")
+	baseline := flag.String("baseline", "", "compare against this earlier results file")
+	threshold := flag.Float64("threshold", 0.2, "allowed fractional ns/op growth before a regression is flagged")
+	filter := flag.String("filter", "", "only run benchmarks whose name contains this substring")
+	scale := flag.String("scale", "tiny", "workload scale for -artifacts runs: tiny, ci or paper")
+	artifacts := flag.Bool("artifacts", false, "also benchmark the paper-artifact experiment runners")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	benches := suite(*scale, *artifacts)
+	if *list {
+		for _, nb := range benches {
+			fmt.Println(nb.name)
+		}
+		return
+	}
+	if *threshold < 0 {
+		fmt.Fprintf(os.Stderr, "-threshold must be >= 0, got %g\n", *threshold)
+		os.Exit(2)
+	}
+
+	// Validate the baseline up front so a bad file fails before the suite
+	// spends minutes running.
+	var base *File
+	if *baseline != "" {
+		var err error
+		base, err = readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	recs := runSuite(benches, *filter)
+	if len(recs) == 0 {
+		fmt.Fprintf(os.Stderr, "no benchmarks match filter %q\n", *filter)
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := writeResults(*out, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(recs))
+	}
+	if base != nil {
+		regs := Diff(base.Benchmarks, recs, *threshold)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s: %s\n", r.Name, r.Reason)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s (threshold %.0f%%)\n", *baseline, 100**threshold)
+	}
+}

@@ -22,6 +22,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1..fig9, tab3..tab6, ablation-*) or 'all'")
 	scale := flag.String("scale", "ci", "workload scale: tiny, ci or paper")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	workers := flag.Int("workers", 0, "experiment-engine worker count (0: RES_WORKERS env, else GOMAXPROCS; 1: sequential)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
-		res, err := resilience.RunExperiment(strings.TrimSpace(id), *scale)
+		res, err := resilience.RunExperimentWorkers(strings.TrimSpace(id), *scale, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			failed++

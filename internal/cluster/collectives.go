@@ -19,6 +19,15 @@ type collectiveState struct {
 	contrib []any
 	results map[int64]*collResult
 	dead    bool
+
+	// Scalar fast path: the CG dot products reduce one or two float64s
+	// per collective, so they bypass the boxed `any` machinery entirely.
+	// scontrib holds up to two values per rank; sres double-buffers the
+	// combined results. Two slots suffice: before any rank can enter
+	// generation g+2, every rank must have finished generation g+1, which
+	// in turn requires having read generation g's result.
+	scontrib []float64
+	sres     [2]scalarResult
 }
 
 type collResult struct {
@@ -27,14 +36,22 @@ type collResult struct {
 	remaining int
 }
 
+type scalarResult struct {
+	gen    int64
+	v0, v1 float64
+	tmax   float64
+}
+
 func newCollectiveState(p int, rt *Runtime) *collectiveState {
 	cs := &collectiveState{
-		rt:      rt,
-		p:       p,
-		clocks:  make([]float64, p),
-		contrib: make([]any, p),
-		results: make(map[int64]*collResult),
+		rt:       rt,
+		p:        p,
+		clocks:   make([]float64, p),
+		contrib:  make([]any, p),
+		results:  make(map[int64]*collResult),
+		scontrib: make([]float64, 2*p),
 	}
+	cs.sres[1].gen = -1 // slot 1 is first written at generation 1
 	cs.cond = sync.NewCond(&cs.mu)
 	return cs
 }
@@ -48,8 +65,10 @@ func (cs *collectiveState) abort() {
 
 // enter contributes to the current collective and blocks until all ranks
 // have arrived. combine is evaluated exactly once, by the last arriver,
-// over the contributions in rank order. The returned value is shared by
-// all ranks and must be treated as read-only.
+// over the contributions in rank order. It may retain contribution values
+// but must not retain the slice itself (it is the shared scratch buffer).
+// The returned value is shared by all ranks and must be treated as
+// read-only.
 func (cs *collectiveState) enter(rank int, clock float64, contribution any,
 	combine func(all []any) any) (value any, tmax float64) {
 
@@ -69,9 +88,7 @@ func (cs *collectiveState) enter(rank int, clock float64, contribution any,
 				t = cl
 			}
 		}
-		all := make([]any, cs.p)
-		copy(all, cs.contrib)
-		cs.results[myGen] = &collResult{value: combine(all), tmax: t, remaining: cs.p}
+		cs.results[myGen] = &collResult{value: combine(cs.contrib), tmax: t, remaining: cs.p}
 		for i := range cs.contrib {
 			cs.contrib[i] = nil
 		}
@@ -92,6 +109,53 @@ func (cs *collectiveState) enter(rank int, clock float64, contribution any,
 		delete(cs.results, myGen)
 	}
 	return res.value, res.tmax
+}
+
+// enterScalar is the allocation-free twin of enter for collectives that
+// reduce one or two float64 values. It shares the generation counter with
+// the boxed path, so scalar and vector collectives can interleave freely.
+// Summation runs in rank order, bitwise-identical to AllreduceSum.
+func (cs *collectiveState) enterScalar(rank int, clock, v0, v1 float64) (r0, r1, tmax float64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.dead {
+		panic(abortPanic{err: fmt.Errorf("cluster: collective on aborted runtime")})
+	}
+	myGen := cs.gen
+	cs.clocks[rank] = clock
+	cs.scontrib[2*rank] = v0
+	cs.scontrib[2*rank+1] = v1
+	cs.count++
+	if cs.count == cs.p {
+		var t float64
+		for _, cl := range cs.clocks {
+			if cl > t {
+				t = cl
+			}
+		}
+		var s0, s1 float64
+		for r := 0; r < cs.p; r++ {
+			s0 += cs.scontrib[2*r]
+			s1 += cs.scontrib[2*r+1]
+		}
+		slot := &cs.sres[myGen&1]
+		slot.gen, slot.v0, slot.v1, slot.tmax = myGen, s0, s1, t
+		cs.count = 0
+		cs.gen++
+		cs.cond.Broadcast()
+	} else {
+		for cs.gen == myGen && !cs.dead {
+			cs.cond.Wait()
+		}
+		if cs.dead {
+			panic(abortPanic{err: fmt.Errorf("cluster: collective on aborted runtime")})
+		}
+	}
+	slot := &cs.sres[myGen&1]
+	if slot.gen != myGen {
+		panic(fmt.Sprintf("cluster: scalar collective slot for gen %d holds gen %d", myGen, slot.gen))
+	}
+	return slot.v0, slot.v1, slot.tmax
 }
 
 // collect is the shared driver: synchronize clocks to the arrival maximum
@@ -131,8 +195,25 @@ func (c *Comm) AllreduceSum(vals []float64) []float64 {
 }
 
 // AllreduceScalarSum is AllreduceSum for one value (the CG dot products).
+// It takes the allocation-free scalar fast path; the cost model and the
+// rank-order summation are identical to AllreduceSum([]float64{v})[0].
 func (c *Comm) AllreduceScalarSum(v float64) float64 {
-	return c.AllreduceSum([]float64{v})[0]
+	c.checkAbort()
+	r0, _, tmax := c.rt.coll.enterScalar(c.rank, c.clock, v, 0)
+	c.advanceTo(tmax)
+	c.ElapseActive(c.rt.plat.CollectiveTime(8, c.rt.p))
+	return r0
+}
+
+// AllreduceSum2 sums two scalars across ranks in one fused collective.
+// Results and virtual-time cost are bitwise-identical to
+// AllreduceSum([]float64{a, b}), without the per-call allocations.
+func (c *Comm) AllreduceSum2(a, b float64) (float64, float64) {
+	c.checkAbort()
+	r0, r1, tmax := c.rt.coll.enterScalar(c.rank, c.clock, a, b)
+	c.advanceTo(tmax)
+	c.ElapseActive(c.rt.plat.CollectiveTime(16, c.rt.p))
+	return r0, r1
 }
 
 // AllreduceMax element-wise maximizes vals across ranks.

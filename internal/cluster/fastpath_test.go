@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"resilience/internal/platform"
+	"resilience/internal/power"
+)
+
+// TestScalarFastPathMatchesVector checks that the allocation-free scalar
+// collectives return the same values and charge the same virtual time as
+// the boxed AllreduceSum they replace, including when scalar and vector
+// generations interleave.
+func TestScalarFastPathMatchesVector(t *testing.T) {
+	const p = 5
+	vals := []float64{1e-16, -3.25, 7.5, 1e16, -1e16}
+	clockScalar := make([]float64, p)
+	clockVector := make([]float64, p)
+
+	_, _ = run(t, p, func(c *Comm) error {
+		c.Compute(int64(500 * (c.Rank() + 1)))
+		sv := c.AllreduceScalarSum(vals[c.Rank()])
+		a, b := c.AllreduceSum2(vals[c.Rank()], float64(c.Rank()))
+		clockScalar[c.Rank()] = c.Clock()
+
+		// Interleave a vector collective between scalar generations.
+		vv := c.AllreduceSum([]float64{vals[c.Rank()]})
+		if sv != vv[0] || a != vv[0] {
+			return fmt.Errorf("rank %d: scalar %v/%v != vector %v", c.Rank(), sv, a, vv[0])
+		}
+		if want := float64(p*(p-1)) / 2; b != want {
+			return fmt.Errorf("rank %d: pair second sum %v, want %v", c.Rank(), b, want)
+		}
+		s2 := c.AllreduceScalarSum(1)
+		if s2 != p {
+			return fmt.Errorf("rank %d: post-interleave scalar sum %v, want %d", c.Rank(), s2, p)
+		}
+		return nil
+	})
+
+	// The scalar path must charge the identical collective cost as the
+	// equivalent vector calls.
+	_, _ = run(t, p, func(c *Comm) error {
+		c.Compute(int64(500 * (c.Rank() + 1)))
+		_ = c.AllreduceSum([]float64{vals[c.Rank()]})
+		_ = c.AllreduceSum([]float64{vals[c.Rank()], float64(c.Rank())})
+		clockVector[c.Rank()] = c.Clock()
+		return nil
+	})
+	for r := 0; r < p; r++ {
+		if math.Float64bits(clockScalar[r]) != math.Float64bits(clockVector[r]) {
+			t.Fatalf("rank %d: scalar-path clock %v != vector-path clock %v", r, clockScalar[r], clockVector[r])
+		}
+	}
+}
+
+// TestRecvInto checks the pooled receive path: payload contents, arrival
+// clock, and buffer reuse across repeated exchanges.
+func TestRecvInto(t *testing.T) {
+	const rounds = 10
+	_, _ = run(t, 2, func(c *Comm) error {
+		buf := make([]float64, 3)
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 5, []float64{float64(i), float64(2 * i), -1})
+			} else {
+				before := c.Clock()
+				c.RecvInto(0, 5, buf)
+				if c.Clock() < before {
+					return fmt.Errorf("clock moved backwards on recv")
+				}
+				if buf[0] != float64(i) || buf[1] != float64(2*i) || buf[2] != -1 {
+					return fmt.Errorf("round %d: got %v", i, buf)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestRecvIntoLengthMismatch ensures a wrong-size destination panics with
+// a diagnostic rather than silently truncating.
+func TestRecvIntoLengthMismatch(t *testing.T) {
+	_, err := Run(2, platform.Default(), power.NewMeter(true), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1, 2, 3})
+		} else {
+			dst := make([]float64, 2)
+			c.RecvInto(0, 1, dst)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error from mismatched RecvInto length")
+	}
+}

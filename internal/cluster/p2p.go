@@ -7,24 +7,51 @@ import (
 
 // mailbox implements matched point-to-point messaging with per-channel
 // FIFO ordering, the semantics block-row CG's halo exchange needs.
+// Payload buffers are pooled: Send copies into a pooled buffer and
+// RecvInto returns it after copying out, so a steady-state halo exchange
+// performs no allocations.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[mkey][]message
+	pool   sync.Pool // of *payload
 	dead   bool
 }
 
 type mkey struct{ from, to, tag int }
 
 type message struct {
-	data   []float64
+	pl     *payload
 	arrive float64 // virtual arrival time at the receiver
+}
+
+// payload is a pooled message buffer. Pooling pointers to the struct
+// (rather than slices) avoids boxing a fresh interface value on every
+// Put.
+type payload struct {
+	data []float64
 }
 
 func newMailbox(*Runtime) *mailbox {
 	mb := &mailbox{queues: make(map[mkey][]message)}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
+}
+
+func (mb *mailbox) getPayload(n int) *payload {
+	pl, _ := mb.pool.Get().(*payload)
+	if pl == nil {
+		pl = &payload{}
+	}
+	if cap(pl.data) < n {
+		pl.data = make([]float64, n)
+	}
+	pl.data = pl.data[:n]
+	return pl
+}
+
+func (mb *mailbox) putPayload(pl *payload) {
+	mb.pool.Put(pl)
 }
 
 func (mb *mailbox) abort() {
@@ -45,11 +72,11 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	cost := c.rt.plat.P2PTime(int64(8 * len(data)))
 	// The sender is occupied while injecting the message.
 	c.ElapseActive(cost)
-	cp := make([]float64, len(data))
-	copy(cp, data)
-	msg := message{data: cp, arrive: c.clock}
-
 	mb := c.rt.mail
+	pl := mb.getPayload(len(data))
+	copy(pl.data, data)
+	msg := message{pl: pl, arrive: c.clock}
+
 	mb.mu.Lock()
 	k := mkey{from: c.rank, to: to, tag: tag}
 	mb.queues[k] = append(mb.queues[k], msg)
@@ -57,11 +84,10 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	mb.cond.Broadcast()
 }
 
-// Recv blocks until a message from rank `from` with the given tag is
-// available, advances the virtual clock to its arrival time (charged at
-// wait power), and returns the payload.
-func (c *Comm) Recv(from, tag int) []float64 {
-	c.checkAbort()
+// dequeue pops the oldest message on (from→rank, tag), blocking until one
+// arrives. The queue slice keeps its capacity when drained so repeated
+// exchanges on the same channel do not reallocate.
+func (c *Comm) dequeue(from, tag int) message {
 	if from < 0 || from >= c.rt.p {
 		panic(fmt.Sprintf("cluster: Recv from invalid rank %d", from))
 	}
@@ -77,15 +103,41 @@ func (c *Comm) Recv(from, tag int) []float64 {
 	}
 	q := mb.queues[k]
 	msg := q[0]
+	q[0] = message{}
 	if len(q) == 1 {
-		delete(mb.queues, k)
+		mb.queues[k] = q[:0]
 	} else {
 		mb.queues[k] = q[1:]
 	}
 	mb.mu.Unlock()
+	return msg
+}
 
+// Recv blocks until a message from rank `from` with the given tag is
+// available, advances the virtual clock to its arrival time (charged at
+// wait power), and returns the payload as a fresh slice.
+func (c *Comm) Recv(from, tag int) []float64 {
+	c.checkAbort()
+	msg := c.dequeue(from, tag)
 	c.advanceTo(msg.arrive)
-	return msg.data
+	out := make([]float64, len(msg.pl.data))
+	copy(out, msg.pl.data)
+	c.rt.mail.putPayload(msg.pl)
+	return out
+}
+
+// RecvInto is Recv without the allocation: the payload is copied into
+// dst, which must match the message length exactly, and the internal
+// buffer is recycled.
+func (c *Comm) RecvInto(from, tag int, dst []float64) {
+	c.checkAbort()
+	msg := c.dequeue(from, tag)
+	c.advanceTo(msg.arrive)
+	if len(msg.pl.data) != len(dst) {
+		panic(fmt.Sprintf("cluster: RecvInto got %d values for a %d-length buffer", len(msg.pl.data), len(dst)))
+	}
+	copy(dst, msg.pl.data)
+	c.rt.mail.putPayload(msg.pl)
 }
 
 // SendInts / RecvInts move integer payloads (setup-phase exchanges of

@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// TestEngineDeterminism asserts the rendered output of an experiment is
+// byte-identical whether the engine runs its cells sequentially or on
+// eight workers. fig5 and tab5 cover the widest fan-outs (matrix x scheme
+// grids with cached FF baselines); fig3 covers Poisson fault injection,
+// proving each cell's RNG is isolated from scheduling order.
+func TestEngineDeterminism(t *testing.T) {
+	cfg := Default(0) // Tiny
+	for _, id := range []string{"fig5", "tab5", "fig3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := Get(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			render := func(workers string) string {
+				t.Setenv("RES_WORKERS", workers)
+				res, err := r.Run(cfg)
+				if err != nil {
+					t.Fatalf("%s with RES_WORKERS=%s: %v", id, workers, err)
+				}
+				return res.String()
+			}
+			seq := render("1")
+			par := render("8")
+			if seq != par {
+				t.Errorf("%s output differs between RES_WORKERS=1 and RES_WORKERS=8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					id, seq, par)
+			}
+		})
+	}
+}
+
+// TestWorkersResolution checks the precedence of the worker-count knobs:
+// Config.Workers beats RES_WORKERS beats GOMAXPROCS.
+func TestWorkersResolution(t *testing.T) {
+	t.Setenv("RES_WORKERS", "3")
+	if got := (Config{}).workers(); got != 3 {
+		t.Errorf("RES_WORKERS=3: workers() = %d, want 3", got)
+	}
+	if got := (Config{Workers: 5}).workers(); got != 5 {
+		t.Errorf("Workers=5 should override the environment: workers() = %d, want 5", got)
+	}
+	t.Setenv("RES_WORKERS", "bogus")
+	if got := (Config{}).workers(); got < 1 {
+		t.Errorf("invalid RES_WORKERS must fall back to GOMAXPROCS: workers() = %d", got)
+	}
+}

@@ -47,14 +47,10 @@ func runFig3(cfg Config) (*Result, error) {
 		{Kind: core.RD},
 		{Kind: core.LI, DVFS: true},
 	}
-	t := report.NewTable(
-		fmt.Sprintf("Figure 3: Andrews analog, %d ranks, Poisson MTBF=%.3gs (=%g expected faults)",
-			cfg.baseConfig(s).Ranks, mtbf, expectedFaults),
-		"Scheme", "RelRes", "Time/FF", "Energy/FF", "Time ovh", "Energy ovh")
-	t.AddF("FF", ff.RelRes, 1.0, 1.0, 0.0, 0.0)
-	for _, spec := range specs {
+	reps := make([]*core.RunReport, len(specs))
+	err = cfg.runCells(len(specs), func(i int) error {
 		rc := cfg.baseConfig(s)
-		rc.Scheme = spec
+		rc.Scheme = specs[i]
 		ranks := rc.Ranks
 		seed := cfg.Seed
 		rc.InjectorFactory = func() fault.Injector {
@@ -62,11 +58,23 @@ func runFig3(cfg Config) (*Result, error) {
 		}
 		rep, err := core.Run(rc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !rep.Converged {
-			return nil, fmt.Errorf("experiments: fig3 %s did not converge", spec.Name())
+			return fmt.Errorf("experiments: fig3 %s did not converge", specs[i].Name())
 		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 3: Andrews analog, %d ranks, Poisson MTBF=%.3gs (=%g expected faults)",
+			cfg.baseConfig(s).Ranks, mtbf, expectedFaults),
+		"Scheme", "RelRes", "Time/FF", "Energy/FF", "Time ovh", "Energy ovh")
+	t.AddF("FF", ff.RelRes, 1.0, 1.0, 0.0, 0.0)
+	for _, rep := range reps {
 		t.AddF(rep.Scheme, rep.RelRes,
 			rep.Time/ff.Time, rep.Energy/ff.Energy,
 			rep.Time/ff.Time-1, rep.Energy/ff.Energy-1)
@@ -96,14 +104,19 @@ func runFig7(cfg Config) (*Result, error) {
 	}
 	normalPower := ff.AvgPower
 
+	dvfsVariants := []bool{false, true}
+	repsA := make([]*core.RunReport, len(dvfsVariants))
+	err = cfg.runCells(len(dvfsVariants), func(i int) error {
+		rep, err := cfg.runScheme(s, core.SchemeSpec{Kind: core.LI, DVFS: dvfsVariants[i]}, true)
+		repsA[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tA := report.NewTable("Figure 7(a): nd24k analog power profile, LI vs LI-DVFS",
 		"Scheme", "Avg power/FF", "Reconstr. power/FF", "Reconstr. windows", "Node power timeline")
-	for _, dvfs := range []bool{false, true} {
-		spec := core.SchemeSpec{Kind: core.LI, DVFS: dvfs}
-		rep, err := cfg.runScheme(s, spec, true)
-		if err != nil {
-			return nil, err
-		}
+	for _, rep := range repsA {
 		reconP, nWindows := reconstructionPower(rep)
 		timeline := rep.Meter.Timeline(rep.Time / 120)
 		watts := make([]float64, len(timeline))
@@ -114,41 +127,53 @@ func runFig7(cfg Config) (*Result, error) {
 			report.Sparkline(watts, 60))
 	}
 
-	// (b) averages over the whole catalog.
-	type agg struct{ t, p, e, eres float64 }
+	// (b) averages over the whole catalog, one cell per (matrix, scheme).
+	type fig7Cell struct{ t, p, e, eres float64 }
 	specs := []core.SchemeSpec{
 		{Kind: core.LI},
 		{Kind: core.LI, DVFS: true},
 		{Kind: core.LSI},
 		{Kind: core.LSI, DVFS: true},
 	}
-	sums := make([]agg, len(specs))
 	names := fig5Matrices()
-	for _, name := range names {
-		sm, err := cfg.loadSystem(name)
+	cells := make([]fig7Cell, len(names)*len(specs))
+	err = cfg.runCells(len(cells), func(i int) error {
+		sm, err := cfg.loadSystem(names[i/len(specs)])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ffm, err := cfg.faultFree(sm)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i, spec := range specs {
-			rep, err := cfg.runScheme(sm, spec, false)
-			if err != nil {
-				return nil, err
-			}
-			sums[i].t += rep.Time / ffm.Time
-			sums[i].p += rep.AvgPower / ffm.AvgPower
-			sums[i].e += rep.Energy / ffm.Energy
-			sums[i].eres += (rep.Energy - ffm.Energy) / ffm.Energy
+		rep, err := cfg.runScheme(sm, specs[i%len(specs)], false)
+		if err != nil {
+			return err
 		}
+		cells[i] = fig7Cell{
+			t:    rep.Time / ffm.Time,
+			p:    rep.AvgPower / ffm.AvgPower,
+			e:    rep.Energy / ffm.Energy,
+			eres: (rep.Energy - ffm.Energy) / ffm.Energy,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tB := report.NewTable(fmt.Sprintf("Figure 7(b): averages over %d matrices, %d faults", len(names), cfg.Faults),
 		"Scheme", "T/FF", "P/FF", "E/FF", "E_res/E_solve")
 	for i, spec := range specs {
+		var sum fig7Cell
+		for mi := range names {
+			c := cells[mi*len(specs)+i]
+			sum.t += c.t
+			sum.p += c.p
+			sum.e += c.e
+			sum.eres += c.eres
+		}
 		n := float64(len(names))
-		tB.AddF(spec.Name(), sums[i].t/n, sums[i].p/n, sums[i].e/n, sums[i].eres/n)
+		tB.AddF(spec.Name(), sum.t/n, sum.p/n, sum.e/n, sum.eres/n)
 	}
 	return &Result{
 		ID:     "fig7",
@@ -193,34 +218,45 @@ func reconstructionPower(rep *core.RunReport) (watts float64, windows int) {
 // scheme averaged over the full catalog, with Young-interval CR.
 func runTab5(cfg Config) (*Result, error) {
 	specs := energySchemeSet()
-	type agg struct{ t, p, e float64 }
-	sums := make([]agg, len(specs))
+	type tab5Cell struct{ t, p, e float64 }
 	names := fig5Matrices()
-	for _, name := range names {
-		s, err := cfg.loadSystem(name)
+	cells := make([]tab5Cell, len(names)*len(specs))
+	err := cfg.runCells(len(cells), func(i int) error {
+		s, err := cfg.loadSystem(names[i/len(specs)])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ff, err := cfg.faultFree(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i, spec := range specs {
-			rep, err := cfg.runScheme(s, spec, false)
-			if err != nil {
-				return nil, err
-			}
-			sums[i].t += rep.Time / ff.Time
-			sums[i].p += rep.AvgPower / ff.AvgPower
-			sums[i].e += rep.Energy / ff.Energy
+		rep, err := cfg.runScheme(s, specs[i%len(specs)], false)
+		if err != nil {
+			return err
 		}
+		cells[i] = tab5Cell{
+			t: rep.Time / ff.Time,
+			p: rep.AvgPower / ff.AvgPower,
+			e: rep.Energy / ff.Energy,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t := report.NewTable(fmt.Sprintf("Table 5: normalized cost of resilience, averaged over %d matrices", len(names)),
 		"Scheme", "Time", "Power", "Energy")
 	t.AddF("FF", 1.0, 1.0, 1.0)
 	n := float64(len(names))
 	for i, spec := range specs {
-		t.AddF(spec.Name(), sums[i].t/n, sums[i].p/n, sums[i].e/n)
+		var sum tab5Cell
+		for mi := range names {
+			c := cells[mi*len(specs)+i]
+			sum.t += c.t
+			sum.p += c.p
+			sum.e += c.e
+		}
+		t.AddF(spec.Name(), sum.t/n, sum.p/n, sum.e/n)
 	}
 	return &Result{
 		ID:     "tab5",
@@ -237,8 +273,21 @@ func runTab5(cfg Config) (*Result, error) {
 func runFig8(cfg Config) (*Result, error) {
 	matrices := []string{"x104", "nd24k", "cvxbqp1"}
 	specs := energySchemeSet()
+	reps := make([]*core.RunReport, len(matrices)*len(specs))
+	err := cfg.runCells(len(reps), func(i int) error {
+		s, err := cfg.loadSystem(matrices[i/len(specs)])
+		if err != nil {
+			return err
+		}
+		rep, err := cfg.runScheme(s, specs[i%len(specs)], false)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []*report.Table
-	for _, name := range matrices {
+	for mi, name := range matrices {
 		s, err := cfg.loadSystem(name)
 		if err != nil {
 			return nil, err
@@ -250,11 +299,8 @@ func runFig8(cfg Config) (*Result, error) {
 		t := report.NewTable(fmt.Sprintf("Figure 8: %s analog (FF iters=%d)", name, ff.Iters),
 			"Scheme", "Time/FF", "Energy/FF", "Power/FF")
 		t.AddF("FF", 1.0, 1.0, 1.0)
-		for _, spec := range specs {
-			rep, err := cfg.runScheme(s, spec, false)
-			if err != nil {
-				return nil, err
-			}
+		for si := range specs {
+			rep := reps[mi*len(specs)+si]
 			t.AddF(rep.Scheme, rep.Time/ff.Time, rep.Energy/ff.Energy, rep.AvgPower/ff.AvgPower)
 		}
 		tables = append(tables, t)

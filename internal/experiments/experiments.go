@@ -32,6 +32,10 @@ type Config struct {
 	// (paper: 10).
 	Faults int
 	Seed   int64
+	// Workers bounds the experiment engine's cell concurrency. Zero means
+	// "use the RES_WORKERS environment variable, else GOMAXPROCS"; one
+	// forces sequential execution. Output is byte-identical for any value.
+	Workers int
 }
 
 // Default returns the standard configuration for a scale.
@@ -127,13 +131,25 @@ func Get(id string) (Runner, bool) {
 // --- shared run helpers ------------------------------------------------
 
 // system is a generated workload with its cached fault-free baseline.
+// Generation and each per-rank-count baseline run exactly once; concurrent
+// cells needing the same entry block on the winner instead of holding a
+// global lock, so distinct systems generate and solve in parallel.
 type system struct {
-	spec matgen.Spec
-	a    *coreMatrix
-	b    []float64
+	once   sync.Once
+	genErr error
+	spec   matgen.Spec
+	a      *coreMatrix
+	b      []float64
 
 	mu sync.Mutex
-	ff map[int]*core.RunReport // by rank count
+	ff map[int]*ffEntry // by rank count
+}
+
+// ffEntry is one fault-free baseline computed with once semantics.
+type ffEntry struct {
+	once sync.Once
+	rep  *core.RunReport
+	err  error
 }
 
 // coreMatrix aliases the sparse matrix type without re-importing it in
@@ -146,22 +162,32 @@ var (
 )
 
 // loadSystem generates (or returns the cached) analog for a catalog
-// matrix at the config's scale.
+// matrix at the config's scale. The registry lock is held only for the
+// map access; generation itself runs outside it so concurrent cells can
+// build distinct systems in parallel.
 func (c Config) loadSystem(name string) (*system, error) {
 	key := fmt.Sprintf("%s@%s", name, c.Scale)
 	sysMu.Lock()
-	defer sysMu.Unlock()
-	if s, ok := sysCache[key]; ok {
-		return s, nil
+	s, ok := sysCache[key]
+	if !ok {
+		s = &system{ff: map[int]*ffEntry{}}
+		sysCache[key] = s
 	}
-	spec, err := matgen.Lookup(name)
-	if err != nil {
-		return nil, err
+	sysMu.Unlock()
+	scale := c.Scale
+	s.once.Do(func() {
+		spec, err := matgen.Lookup(name)
+		if err != nil {
+			s.genErr = err
+			return
+		}
+		s.spec = spec
+		s.a = spec.Generate(scale)
+		s.b, _ = matgen.RHS(s.a)
+	})
+	if s.genErr != nil {
+		return nil, s.genErr
 	}
-	a := spec.Generate(c.Scale)
-	b, _ := matgen.RHS(a)
-	s := &system{spec: spec, a: a, b: b, ff: map[int]*core.RunReport{}}
-	sysCache[key] = s
 	return s, nil
 }
 
@@ -185,24 +211,31 @@ func (c Config) baseConfig(s *system) core.RunConfig {
 	}
 }
 
-// faultFree returns the cached fault-free distributed baseline.
+// faultFree returns the cached fault-free distributed baseline, computing
+// it exactly once per (system, rank count) even under concurrent cells.
 func (c Config) faultFree(s *system) (*core.RunReport, error) {
 	rc := c.baseConfig(s)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r, ok := s.ff[rc.Ranks]; ok {
-		return r, nil
+	e, ok := s.ff[rc.Ranks]
+	if !ok {
+		e = &ffEntry{}
+		s.ff[rc.Ranks] = e
 	}
-	r, err := core.Run(rc)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: FF baseline for %s: %w", s.spec.Name, err)
-	}
-	if !r.Converged {
-		return nil, fmt.Errorf("experiments: FF baseline for %s did not converge (relres %g after %d iters)",
-			s.spec.Name, r.RelRes, r.Iters)
-	}
-	s.ff[rc.Ranks] = r
-	return r, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		r, err := core.Run(rc)
+		if err != nil {
+			e.err = fmt.Errorf("experiments: FF baseline for %s: %w", s.spec.Name, err)
+			return
+		}
+		if !r.Converged {
+			e.err = fmt.Errorf("experiments: FF baseline for %s did not converge (relres %g after %d iters)",
+				s.spec.Name, r.RelRes, r.Iters)
+			return
+		}
+		e.rep = r
+	})
+	return e.rep, e.err
 }
 
 // runScheme executes one scheme with the standard evenly-spaced fault

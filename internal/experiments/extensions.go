@@ -40,7 +40,15 @@ func runAblationMultilevel(cfg Config) (*Result, error) {
 		ckptEvery = 10
 	}
 	classes := []fault.Class{fault.SNF, fault.SNF, fault.SNF, fault.SWO}
-	mkInjector := func(rc *core.RunConfig) {
+	specs := []core.SchemeSpec{
+		{Kind: core.CRM, CkptEvery: ckptEvery},
+		{Kind: core.CRD, CkptEvery: ckptEvery},
+		{Kind: core.CR2L, CkptEvery: ckptEvery, DiskEvery: 4 * ckptEvery},
+	}
+	reps := make([]*core.RunReport, len(specs))
+	err = cfg.runCells(len(specs), func(i int) error {
+		rc := cfg.baseConfig(s)
+		rc.Scheme = specs[i]
 		ffIters := ff.Iters
 		ranks := rc.Ranks
 		seed := cfg.Seed
@@ -48,27 +56,24 @@ func runAblationMultilevel(cfg Config) (*Result, error) {
 		rc.InjectorFactory = func() fault.Injector {
 			return fault.NewScheduleClasses(nFaults, ffIters, ranks, classes, seed)
 		}
+		rep, err := core.Run(rc)
+		if err != nil {
+			return err
+		}
+		if !rep.Converged {
+			return fmt.Errorf("experiments: %s did not converge", specs[i].Name())
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	t := report.NewTable(
 		fmt.Sprintf("Two-level checkpointing: crystm02 analog, %d faults (every 4th a system-wide outage)", cfg.Faults),
 		"Scheme", "Checkpoints", "Iters/FF", "Time/FF", "Energy/FF")
-	specs := []core.SchemeSpec{
-		{Kind: core.CRM, CkptEvery: ckptEvery},
-		{Kind: core.CRD, CkptEvery: ckptEvery},
-		{Kind: core.CR2L, CkptEvery: ckptEvery, DiskEvery: 4 * ckptEvery},
-	}
-	for _, spec := range specs {
-		rc := cfg.baseConfig(s)
-		rc.Scheme = spec
-		mkInjector(&rc)
-		rep, err := core.Run(rc)
-		if err != nil {
-			return nil, err
-		}
-		if !rep.Converged {
-			return nil, fmt.Errorf("experiments: %s did not converge", spec.Name())
-		}
+	for _, rep := range reps {
 		t.AddF(rep.Scheme, rep.Checkpoints, float64(rep.Iters)/float64(ff.Iters),
 			rep.Time/ff.Time, rep.Energy/ff.Energy)
 	}
@@ -96,17 +101,20 @@ func runAblationSDC(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	nFaults := 3
-	t := report.NewTable(
-		fmt.Sprintf("SDC detection latency: Kuu analog, %d silent corruptions, LI recovery", nFaults),
-		"Detection delay (iters)", "Iters", "Iters/FF", "Time/FF", "Energy/FF")
-	delays := []int{0, 2, 8, 32}
-	for _, d := range delays {
+	// The eligible delay list depends only on the FF baseline, so it is
+	// fixed before the cells launch.
+	var delays []int
+	for _, d := range []int{0, 2, 8, 32} {
 		if d > ff.Iters/4 {
 			break
 		}
+		delays = append(delays, d)
+	}
+	reps := make([]*core.RunReport, len(delays))
+	err = cfg.runCells(len(delays), func(i int) error {
 		rc := cfg.baseConfig(s)
 		rc.Scheme = core.SchemeSpec{Kind: core.LI}
-		rc.DetectDelay = d
+		rc.DetectDelay = delays[i]
 		ffIters := ff.Iters
 		ranks := rc.Ranks
 		seed := cfg.Seed
@@ -115,11 +123,22 @@ func runAblationSDC(cfg Config) (*Result, error) {
 		}
 		rep, err := core.Run(rc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !rep.Converged {
-			return nil, fmt.Errorf("experiments: delay=%d did not converge", d)
+			return fmt.Errorf("experiments: delay=%d did not converge", delays[i])
 		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("SDC detection latency: Kuu analog, %d silent corruptions, LI recovery", nFaults),
+		"Detection delay (iters)", "Iters", "Iters/FF", "Time/FF", "Energy/FF")
+	for i, d := range delays {
+		rep := reps[i]
 		t.AddF(d, rep.Iters, float64(rep.Iters)/float64(ff.Iters),
 			rep.Time/ff.Time, rep.Energy/ff.Energy)
 	}
@@ -154,17 +173,20 @@ func runAblationPipeline(cfg Config) (*Result, error) {
 	default:
 		plist = []int{4, 16, 64}
 	}
+	// One cell per (rank count, variant): even index classic, odd pipelined.
+	variants := make([]*variantReport, 2*len(plist))
+	err = cfg.runCells(len(variants), func(i int) error {
+		v, err := runVariant(s, &plat, plist[i/2], cfg.Tol, i%2 == 1)
+		variants[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Pipelined vs classic CG: wathen100 analog, latency-bound network",
 		"#p", "Classic iters", "Classic T (s)", "Pipelined iters", "Pipelined T (s)", "Speedup")
-	for _, p := range plist {
-		classic, err := runVariant(s, &plat, p, cfg.Tol, false)
-		if err != nil {
-			return nil, err
-		}
-		pipe, err := runVariant(s, &plat, p, cfg.Tol, true)
-		if err != nil {
-			return nil, err
-		}
+	for pi, p := range plist {
+		classic, pipe := variants[2*pi], variants[2*pi+1]
 		t.AddF(p, classic.Iters, classic.Time, pipe.Iters, pipe.Time, classic.Time/pipe.Time)
 	}
 	return &Result{
@@ -231,9 +253,24 @@ func runAblationConstructionCost(cfg Config) (*Result, error) {
 		plist = []int{32, 8, 4}
 	}
 	nFaults := 5
+	// One cell per (rank count, variant): even index plain (keeps its power
+	// segments for the reconstruction-window fraction), odd DVFS.
+	reps := make([]*core.RunReport, 2*len(plist))
+	err = cfg.runCells(len(reps), func(i int) error {
+		c := cfg
+		c.Ranks = plist[i/2]
+		c.Faults = nFaults
+		spec := core.SchemeSpec{Kind: core.LI, Construct: recovery.ConstructExact, DVFS: i%2 == 1}
+		rep, err := c.runScheme(s, spec, i%2 == 0)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Construction-cost ablation: nd24k analog, LI(LU) vs LI(LU)-DVFS",
 		"#p", "Reconstr. frac of run", "E(no DVFS)/FF", "E(DVFS)/FF", "DVFS saving")
-	for _, p := range plist {
+	for pi, p := range plist {
 		c := cfg
 		c.Ranks = p
 		c.Faults = nFaults
@@ -241,14 +278,7 @@ func runAblationConstructionCost(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		plain, err := c.runScheme(s, core.SchemeSpec{Kind: core.LI, Construct: recovery.ConstructExact}, true)
-		if err != nil {
-			return nil, err
-		}
-		dvfs, err := c.runScheme(s, core.SchemeSpec{Kind: core.LI, Construct: recovery.ConstructExact, DVFS: true}, false)
-		if err != nil {
-			return nil, err
-		}
+		plain, dvfs := reps[2*pi], reps[2*pi+1]
 		var reconDur float64
 		for _, w := range plain.Meter.PhaseWindows("reconstruct") {
 			reconDur += w[1] - w[0]

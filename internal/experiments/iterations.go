@@ -21,10 +21,14 @@ func init() {
 // runTab3 reproduces Table 3: the matrix catalog with measured fault-free
 // iteration counts of the synthetic analogs.
 func runTab3(cfg Config) (*Result, error) {
-	t := report.NewTable("Table 3 analogs at scale "+cfg.Scale.String(),
-		"Name", "#Rows(paper)", "#Rows(gen)", "#NNZ/row(paper)", "#NNZ/row(gen)",
-		"Kind", "#Iters(paper)", "#Iters(target)", "#Iters(measured)")
-	for _, spec := range matgen.Catalog() {
+	specs := matgen.Catalog()
+	type tab3Cell struct {
+		rows, nnzPerRow int
+		measured        string
+	}
+	cells := make([]tab3Cell, len(specs))
+	err := cfg.runCells(len(specs), func(i int) error {
+		spec := specs[i]
 		a := spec.Generate(cfg.Scale)
 		b, _ := matgen.RHS(a)
 		iters, conv := solver.SolveFaultFreeIters(a, b, cfg.Tol, 40*spec.TargetIters(cfg.Scale))
@@ -32,8 +36,18 @@ func runTab3(cfg Config) (*Result, error) {
 		if !conv {
 			measured += " (not converged)"
 		}
-		t.AddF(spec.Name, spec.PaperRows, a.Rows, spec.NNZPerRow, a.NNZ()/a.Rows,
-			spec.Kind, spec.PaperIters, spec.TargetIters(cfg.Scale), measured)
+		cells[i] = tab3Cell{rows: a.Rows, nnzPerRow: a.NNZ() / a.Rows, measured: measured}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 3 analogs at scale "+cfg.Scale.String(),
+		"Name", "#Rows(paper)", "#Rows(gen)", "#NNZ/row(paper)", "#NNZ/row(gen)",
+		"Kind", "#Iters(paper)", "#Iters(target)", "#Iters(measured)")
+	for i, spec := range specs {
+		t.AddF(spec.Name, spec.PaperRows, cells[i].rows, spec.NNZPerRow, cells[i].nnzPerRow,
+			spec.Kind, spec.PaperIters, spec.TargetIters(cfg.Scale), cells[i].measured)
 	}
 	return &Result{
 		ID:     "tab3",
@@ -66,21 +80,29 @@ func runTab4(cfg Config) (*Result, error) {
 	for _, sc := range schemes {
 		cols = append(cols, sc.Name())
 	}
-	t := report.NewTable("Table 4: normalized iterations, crystm02 analog, 10 faults", cols...)
-	for _, p := range plist {
+	norms := make([]float64, len(plist)*len(schemes))
+	err = cfg.runCells(len(norms), func(i int) error {
 		c := cfg
-		c.Ranks = p
+		c.Ranks = plist[i/len(schemes)]
 		ff, err := c.faultFree(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rep, err := c.runScheme(s, schemes[i%len(schemes)], false)
+		if err != nil {
+			return err
+		}
+		norms[i] = float64(rep.Iters) / float64(ff.Iters)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 4: normalized iterations, crystm02 analog, 10 faults", cols...)
+	for pi, p := range plist {
 		row := []any{p, 1.0}
-		for _, sc := range schemes {
-			rep, err := c.runScheme(s, sc, false)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, float64(rep.Iters)/float64(ff.Iters))
+		for si := range schemes {
+			row = append(row, norms[pi*len(schemes)+si])
 		}
 		t.AddF(row...)
 	}
@@ -111,34 +133,45 @@ func runFig5(cfg Config) (*Result, error) {
 	for _, sc := range schemes {
 		cols = append(cols, sc.Name())
 	}
-	t := report.NewTable(fmt.Sprintf("Figure 5: normalized iterations, %d ranks, %d faults", cfg.Ranks, cfg.Faults), cols...)
-	sums := make([]float64, len(schemes))
-	count := 0
-	for _, name := range fig5Matrices() {
-		s, err := cfg.loadSystem(name)
+	names := fig5Matrices()
+	ffIters := make([]int, len(names))
+	norms := make([]float64, len(names)*len(schemes))
+	err := cfg.runCells(len(norms), func(i int) error {
+		s, err := cfg.loadSystem(names[i/len(schemes)])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ff, err := cfg.faultFree(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := []any{name, ff.Iters}
-		for i, sc := range schemes {
-			rep, err := cfg.runScheme(s, sc, false)
-			if err != nil {
-				return nil, err
-			}
-			norm := float64(rep.Iters) / float64(ff.Iters)
-			sums[i] += norm
+		if i%len(schemes) == 0 {
+			ffIters[i/len(schemes)] = ff.Iters
+		}
+		rep, err := cfg.runScheme(s, schemes[i%len(schemes)], false)
+		if err != nil {
+			return err
+		}
+		norms[i] = float64(rep.Iters) / float64(ff.Iters)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(fmt.Sprintf("Figure 5: normalized iterations, %d ranks, %d faults", cfg.Ranks, cfg.Faults), cols...)
+	sums := make([]float64, len(schemes))
+	for mi, name := range names {
+		row := []any{name, ffIters[mi]}
+		for si := range schemes {
+			norm := norms[mi*len(schemes)+si]
+			sums[si] += norm
 			row = append(row, norm)
 		}
-		count++
 		t.AddF(row...)
 	}
 	avg := []any{"average", ""}
 	for _, v := range sums {
-		avg = append(avg, v/float64(count))
+		avg = append(avg, v/float64(len(names)))
 	}
 	t.AddF(avg...)
 	return &Result{
@@ -168,13 +201,19 @@ func runFig6(cfg Config) (*Result, error) {
 	if faultIter > ffA.Iters/2 {
 		faultIter = ffA.Iters / 2
 	}
+	repsA := make([]*core.RunReport, len(schemes))
+	err = cfg.runCells(len(schemes), func(i int) error {
+		rep, err := runWithSingleFault(cfg, sA, schemes[i], faultIter)
+		repsA[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tA := report.NewTable(fmt.Sprintf("Figure 6(a): Kuu analog, 1 fault at iteration %d", faultIter),
 		"Scheme", "Iters", "Iters/FF", "Residual history (log-scale sparkline)")
-	for _, sc := range schemes {
-		rep, err := runWithSingleFault(cfg, sA, sc, faultIter)
-		if err != nil {
-			return nil, err
-		}
+	for i, sc := range schemes {
+		rep := repsA[i]
 		tA.AddF(sc.Name(), rep.Iters, float64(rep.Iters)/float64(ffA.Iters),
 			report.Sparkline(logs(rep.History), 60))
 	}
@@ -188,13 +227,19 @@ func runFig6(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	repsB := make([]*core.RunReport, len(schemes))
+	err = cfg.runCells(len(schemes), func(i int) error {
+		rep, err := cfg.runScheme(sB, schemes[i], false)
+		repsB[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	tB := report.NewTable(fmt.Sprintf("Figure 6(b): 5-point stencil, %d faults", cfg.Faults),
 		"Scheme", "Iters", "Iters/FF", "Residual history (log-scale sparkline)")
-	for _, sc := range schemes {
-		rep, err := cfg.runScheme(sB, sc, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, sc := range schemes {
+		rep := repsB[i]
 		tB.AddF(sc.Name(), rep.Iters, float64(rep.Iters)/float64(ffB.Iters),
 			report.Sparkline(logs(rep.History), 60))
 	}

@@ -53,60 +53,73 @@ func runTab6(cfg Config) (*Result, error) {
 	}
 	base := model.BaseParams(ff)
 
+	// One cell per scheme fit: RD, LI-DVFS, LSI-DVFS, CR-M, CR-D. The CR
+	// schemes use a fixed interval so the model knows I_C exactly.
+	ckptEvery := 100
+	fits := []func() (model.Validation, error){
+		func() (model.Validation, error) {
+			run, err := cfg.runScheme(s, core.SchemeSpec{Kind: core.RD}, false)
+			if err != nil {
+				return model.Validation{}, err
+			}
+			pred, err := model.PredictRD(model.FitRD(ff, 2))
+			if err != nil {
+				return model.Validation{}, err
+			}
+			return model.Validate("RD", pred, base, ff, run), nil
+		},
+	}
+	for _, kind := range []core.SchemeKind{core.LI, core.LSI} {
+		spec := core.SchemeSpec{Kind: kind, DVFS: true}
+		fits = append(fits, func() (model.Validation, error) {
+			run, err := cfg.runScheme(s, spec, true)
+			if err != nil {
+				return model.Validation{}, err
+			}
+			params, err := model.FitFW(ff, run, cfg.Plat, true)
+			if err != nil {
+				return model.Validation{}, err
+			}
+			pred, err := model.PredictFW(params)
+			if err != nil {
+				return model.Validation{}, err
+			}
+			return model.Validate(spec.Name(), pred, base, ff, run), nil
+		})
+	}
+	for _, kind := range []core.SchemeKind{core.CRM, core.CRD} {
+		spec := core.SchemeSpec{Kind: kind, CkptEvery: ckptEvery}
+		fits = append(fits, func() (model.Validation, error) {
+			run, err := cfg.runScheme(s, spec, false)
+			if err != nil {
+				return model.Validation{}, err
+			}
+			params, err := model.FitCR(ff, run, cfg.Plat, ckptEvery)
+			if err != nil {
+				return model.Validation{}, err
+			}
+			pred, err := model.PredictCR(params)
+			if err != nil {
+				return model.Validation{}, err
+			}
+			return model.Validate(spec.Name(), pred, base, ff, run), nil
+		})
+	}
+	rows := make([]model.Validation, len(fits))
+	err = cfg.runCells(len(fits), func(i int) error {
+		v, err := fits[i]()
+		rows[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := report.NewTable("Table 6: model vs experiment, x104 analog, normalized to FF",
 		"Scheme", "model T_res", "model P", "model E_res", "meas T_res", "meas P", "meas E_res")
 	t.AddF("FF", 0.0, 1.0, 0.0, 0.0, 1.0, 0.0)
-
-	addRow := func(v model.Validation) {
+	for _, v := range rows {
 		t.AddF(v.Scheme, v.ModelTRes, v.ModelP, v.ModelERes, v.MeasTRes, v.MeasP, v.MeasERes)
-	}
-
-	// RD.
-	rdRun, err := cfg.runScheme(s, core.SchemeSpec{Kind: core.RD}, false)
-	if err != nil {
-		return nil, err
-	}
-	rdPred, err := model.PredictRD(model.FitRD(ff, 2))
-	if err != nil {
-		return nil, err
-	}
-	addRow(model.Validate("RD", rdPred, base, ff, rdRun))
-
-	// LI-DVFS and LSI-DVFS.
-	for _, kind := range []core.SchemeKind{core.LI, core.LSI} {
-		spec := core.SchemeSpec{Kind: kind, DVFS: true}
-		run, err := cfg.runScheme(s, spec, true)
-		if err != nil {
-			return nil, err
-		}
-		params, err := model.FitFW(ff, run, cfg.Plat, true)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := model.PredictFW(params)
-		if err != nil {
-			return nil, err
-		}
-		addRow(model.Validate(spec.Name(), pred, base, ff, run))
-	}
-
-	// CR-M and CR-D with a fixed interval so the model knows I_C exactly.
-	ckptEvery := 100
-	for _, kind := range []core.SchemeKind{core.CRM, core.CRD} {
-		spec := core.SchemeSpec{Kind: kind, CkptEvery: ckptEvery}
-		run, err := cfg.runScheme(s, spec, false)
-		if err != nil {
-			return nil, err
-		}
-		params, err := model.FitCR(ff, run, cfg.Plat, ckptEvery)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := model.PredictCR(params)
-		if err != nil {
-			return nil, err
-		}
-		addRow(model.Validate(spec.Name(), pred, base, ff, run))
 	}
 
 	return &Result{

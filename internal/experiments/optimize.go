@@ -27,42 +27,61 @@ func runAblationPCG(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := report.NewTable(fmt.Sprintf("Jacobi-PCG ablation: crystm02 analog, %d faults", cfg.Faults),
-		"Solver", "Scheme", "Iters", "Time (s)", "Energy (J)", "Iters/FF-of-solver")
-	for _, jacobi := range []bool{false, true} {
-		label := "CG"
-		if jacobi {
-			label = "PCG(Jacobi)"
-		}
-		// Fault-free baseline per solver variant.
+	variants := []bool{false, true}
+	labels := []string{"CG", "PCG(Jacobi)"}
+	// Phase 1: the fault-free baseline of each solver variant.
+	ffs := make([]*core.RunReport, len(variants))
+	err = cfg.runCells(len(variants), func(i int) error {
 		rcFF := cfg.baseConfig(s)
-		rcFF.Jacobi = jacobi
+		rcFF.Jacobi = variants[i]
 		ff, err := core.Run(rcFF)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ff.Converged {
-			return nil, fmt.Errorf("experiments: %s FF did not converge", label)
+			return fmt.Errorf("experiments: %s FF did not converge", labels[i])
 		}
+		ffs[i] = ff
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: each variant under LI and F0 recovery.
+	schemes := []core.SchemeSpec{{Kind: core.LI}, {Kind: core.F0}}
+	reps := make([]*core.RunReport, len(variants)*len(schemes))
+	err = cfg.runCells(len(reps), func(i int) error {
+		vi, si := i/len(schemes), i%len(schemes)
+		rc := cfg.baseConfig(s)
+		rc.Jacobi = variants[vi]
+		rc.Scheme = schemes[si]
+		ffIters := ffs[vi].Iters
+		ranks := rc.Ranks
+		seed := cfg.Seed
+		nFaults := cfg.Faults
+		rc.InjectorFactory = func() fault.Injector {
+			return fault.NewSchedule(nFaults, ffIters, ranks, fault.SNF, seed)
+		}
+		rep, err := core.Run(rc)
+		if err != nil {
+			return err
+		}
+		if !rep.Converged {
+			return fmt.Errorf("experiments: %s/%s did not converge", labels[vi], schemes[si].Name())
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(fmt.Sprintf("Jacobi-PCG ablation: crystm02 analog, %d faults", cfg.Faults),
+		"Solver", "Scheme", "Iters", "Time (s)", "Energy (J)", "Iters/FF-of-solver")
+	for vi, label := range labels {
+		ff := ffs[vi]
 		t.AddF(label, "FF", ff.Iters, ff.Time, ff.Energy, 1.0)
-		for _, spec := range []core.SchemeSpec{{Kind: core.LI}, {Kind: core.F0}} {
-			rc := cfg.baseConfig(s)
-			rc.Jacobi = jacobi
-			rc.Scheme = spec
-			ffIters := ff.Iters
-			ranks := rc.Ranks
-			seed := cfg.Seed
-			nFaults := cfg.Faults
-			rc.InjectorFactory = func() fault.Injector {
-				return fault.NewSchedule(nFaults, ffIters, ranks, fault.SNF, seed)
-			}
-			rep, err := core.Run(rc)
-			if err != nil {
-				return nil, err
-			}
-			if !rep.Converged {
-				return nil, fmt.Errorf("experiments: %s/%s did not converge", label, spec.Name())
-			}
+		for si := range schemes {
+			rep := reps[vi*len(schemes)+si]
 			t.AddF(label, rep.Scheme, rep.Iters, rep.Time, rep.Energy,
 				float64(rep.Iters)/float64(ff.Iters))
 		}
@@ -92,16 +111,28 @@ func runFig4(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	tols := []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10}
+	kinds := []core.SchemeKind{core.LI, core.LSI}
 
-	run := func(spec core.SchemeSpec) (*core.RunReport, error) {
-		return c.runScheme(s, spec, false)
+	// One cell per (kind, construction): slot 0 of each kind is the exact
+	// baseline, slots 1..len(tols) the CG construction at each tolerance.
+	perKind := 1 + len(tols)
+	reps := make([]*core.RunReport, len(kinds)*perKind)
+	err = c.runCells(len(reps), func(i int) error {
+		kind := kinds[i/perKind]
+		spec := core.SchemeSpec{Kind: kind, Construct: recovery.ConstructExact}
+		if j := i % perKind; j > 0 {
+			spec = core.SchemeSpec{Kind: kind, LocalTol: tols[j-1]}
+		}
+		rep, err := c.runScheme(s, spec, false)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	var tables []*report.Table
-	for _, kind := range []core.SchemeKind{core.LI, core.LSI} {
-		baseline, err := run(core.SchemeSpec{Kind: kind, Construct: recovery.ConstructExact})
-		if err != nil {
-			return nil, err
-		}
+	for ki, kind := range kinds {
+		baseline := reps[ki*perKind]
 		label := "LI (LU)"
 		if kind == core.LSI {
 			label = "LSI (QR)"
@@ -110,11 +141,8 @@ func runFig4(cfg Config) (*Result, error) {
 			s.spec.Name, label, baseline.Time),
 			"Construction", "Tol", "Iters", "TTS (s)", "TTS/FF", "vs exact")
 		t.AddF(label, "exact", baseline.Iters, baseline.Time, baseline.Time/ff.Time, 0.0)
-		for _, tol := range tols {
-			rep, err := run(core.SchemeSpec{Kind: kind, LocalTol: tol})
-			if err != nil {
-				return nil, err
-			}
+		for ti, tol := range tols {
+			rep := reps[ki*perKind+1+ti]
 			t.AddF(rep.Scheme+" (CG)", fmt.Sprintf("%.0e", tol), rep.Iters, rep.Time,
 				rep.Time/ff.Time, (baseline.Time-rep.Time)/baseline.Time)
 		}
@@ -152,13 +180,19 @@ func runAblationInterval(cfg Config) (*Result, error) {
 		{"young", core.SchemeSpec{Kind: core.CRD, CkptMTBF: mtbf}},
 		{"daly", core.SchemeSpec{Kind: core.CRD, CkptMTBF: mtbf, UseDaly: true}},
 	}
+	reps := make([]*core.RunReport, len(specs))
+	err = cfg.runCells(len(specs), func(i int) error {
+		rep, err := cfg.runScheme(s, specs[i].spec, false)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(fmt.Sprintf("Checkpoint policy ablation: crystm02 analog, CR-D, %d faults", cfg.Faults),
 		"Policy", "Checkpoints", "Iters/FF", "Time/FF", "Energy/FF")
-	for _, sp := range specs {
-		rep, err := cfg.runScheme(s, sp.spec, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, sp := range specs {
+		rep := reps[i]
 		t.AddF(sp.label, rep.Checkpoints, float64(rep.Iters)/float64(ff.Iters),
 			rep.Time/ff.Time, rep.Energy/ff.Energy)
 	}
@@ -183,13 +217,20 @@ func runAblationTol(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tols := []float64{1e-1, 1e-3, 1e-6, 1e-9, 1e-12}
+	reps := make([]*core.RunReport, len(tols))
+	err = cfg.runCells(len(tols), func(i int) error {
+		rep, err := cfg.runScheme(s, core.SchemeSpec{Kind: core.LI, LocalTol: tols[i]}, false)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(fmt.Sprintf("Construction tolerance ablation: cvxbqp1 analog, LI(CG), %d faults", cfg.Faults),
 		"LocalTol", "Iters", "Iters/FF", "Time/FF", "Energy/FF")
-	for _, tol := range []float64{1e-1, 1e-3, 1e-6, 1e-9, 1e-12} {
-		rep, err := cfg.runScheme(s, core.SchemeSpec{Kind: core.LI, LocalTol: tol}, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, tol := range tols {
+		rep := reps[i]
 		t.AddF(fmt.Sprintf("%.0e", tol), rep.Iters, float64(rep.Iters)/float64(ff.Iters),
 			rep.Time/ff.Time, rep.Energy/ff.Energy)
 	}
@@ -209,22 +250,32 @@ func runAblationDVFS(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The baseline must be computed with the original platform BEFORE the
+	// cells launch: the per-rank-count FF cache is keyed by rank count
+	// only, so a cell's modified platform must not be the one to fill it.
 	ff, err := cfg.faultFree(s)
+	if err != nil {
+		return nil, err
+	}
+	plat := *cfg.Plat
+	floors := []float64{plat.FreqMax, 1.8, 1.5, plat.FreqMin}
+	reps := make([]*core.RunReport, len(floors))
+	err = cfg.runCells(len(floors), func(i int) error {
+		p := plat
+		p.FreqMin = floors[i] // parkOthers parks at FreqMin
+		c := cfg
+		c.Plat = &p
+		rep, err := c.runScheme(s, core.SchemeSpec{Kind: core.LI, DVFS: true}, false)
+		reps[i] = rep
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	t := report.NewTable(fmt.Sprintf("DVFS floor ablation: nd24k analog, LI, %d faults", cfg.Faults),
 		"Floor (GHz)", "Time/FF", "Energy/FF", "Power/FF")
-	plat := *cfg.Plat
-	for _, floor := range []float64{plat.FreqMax, 1.8, 1.5, plat.FreqMin} {
-		p := plat
-		p.FreqMin = floor // parkOthers parks at FreqMin
-		c := cfg
-		c.Plat = &p
-		rep, err := c.runScheme(s, core.SchemeSpec{Kind: core.LI, DVFS: true}, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, floor := range floors {
+		rep := reps[i]
 		t.AddF(fmt.Sprintf("%.1f", floor), rep.Time/ff.Time, rep.Energy/ff.Energy, rep.AvgPower/ff.AvgPower)
 	}
 	return &Result{
@@ -247,13 +298,19 @@ func runAblationTMR(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	kinds := []core.SchemeKind{core.RD, core.TMR}
+	reps := make([]*core.RunReport, len(kinds))
+	err = cfg.runCells(len(kinds), func(i int) error {
+		rep, err := cfg.runScheme(s, core.SchemeSpec{Kind: kinds[i]}, false)
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(fmt.Sprintf("Redundancy degree: Kuu analog, %d faults", cfg.Faults),
 		"Scheme", "Iters/FF", "Time/FF", "Power/FF", "Energy/FF")
-	for _, kind := range []core.SchemeKind{core.RD, core.TMR} {
-		rep, err := cfg.runScheme(s, core.SchemeSpec{Kind: kind}, false)
-		if err != nil {
-			return nil, err
-		}
+	for _, rep := range reps {
 		t.AddF(rep.Scheme, float64(rep.Iters)/float64(ff.Iters),
 			rep.Time/ff.Time, rep.AvgPower/ff.AvgPower, rep.Energy/ff.Energy)
 	}

@@ -7,6 +7,7 @@ import (
 	"resilience/internal/fault"
 	"resilience/internal/solver"
 	"resilience/internal/sparse"
+	"resilience/internal/vec"
 )
 
 // Construction selects how LI/LSI build their interpolation.
@@ -48,6 +49,8 @@ type LI struct {
 
 	diag *sparse.CSR // cached diagonal block of this rank
 	y    []float64
+	x    []float64           // construction solution buffer, reused per fault
+	ws   solver.SeqWorkspace // construction scratch, reused per fault
 }
 
 // Name implements Scheme.
@@ -130,9 +133,12 @@ func (s *LI) solveCG(ctx *Ctx, y []float64) error {
 	if maxIters <= 0 {
 		maxIters = 10 * n
 	}
-	z := make([]float64, n)
-	res := solver.SeqPCGMatrix(s.diag, y, z, tol, maxIters)
+	if s.x == nil {
+		s.x = make([]float64, n)
+	}
+	vec.Zero(s.x)
+	res := solver.SeqPCGMatrixWork(&s.ws, s.diag, y, s.x, tol, maxIters)
 	ctx.C.Compute(res.Flops)
-	copy(ctx.St.X, z)
+	copy(ctx.St.X, s.x)
 	return nil
 }

@@ -34,7 +34,11 @@ type LSI struct {
 	LocalTol      float64
 	MaxLocalIters int
 
-	z []float64 // length-n contribution buffer
+	z    []float64           // length-n contribution buffer
+	beta []float64           // length-n right-hand side, reused per fault
+	rhs  []float64           // reduced right-hand side, reused per fault
+	x    []float64           // construction solution buffer, reused per fault
+	ws   solver.SeqWorkspace // construction scratch, reused per fault
 }
 
 // Name implements Scheme.
@@ -72,7 +76,10 @@ func (s *LSI) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	var solveErr error
 	parkOthers(ctx, f.Rank, s.DVFS, func() {
 		// beta = b - Σ_{j≠i} A_{:,p_j} x_j  (global length n).
-		beta := make([]float64, n)
+		if s.beta == nil {
+			s.beta = make([]float64, n)
+		}
+		beta := s.beta
 		vec.Sub(beta, ctx.St.B, zsum)
 		c.Compute(int64(n))
 		switch s.Construct {
@@ -130,7 +137,11 @@ func (s *LSI) solveQR(ctx *Ctx, beta []float64) error {
 func (s *LSI) solveCGLS(ctx *Ctx, beta []float64) error {
 	c := ctx.C
 	nf := ctx.Op.N
-	rhs := make([]float64, nf)
+	if len(s.rhs) < nf {
+		s.rhs = make([]float64, nf)
+		s.x = make([]float64, nf)
+	}
+	rhs := s.rhs[:nf]
 	ctx.Op.RowBlock.MulVec(rhs, beta)
 	c.Compute(ctx.Op.RowBlock.SpMVFlops())
 
@@ -142,8 +153,9 @@ func (s *LSI) solveCGLS(ctx *Ctx, beta []float64) error {
 	if maxIters <= 0 {
 		maxIters = 10 * nf
 	}
-	x := make([]float64, nf)
-	res := solver.PCGLS(ctx.Op.RowBlock, rhs, x, tol, maxIters)
+	x := s.x[:nf]
+	vec.Zero(x)
+	res := solver.PCGLSWork(&s.ws, ctx.Op.RowBlock, rhs, x, tol, maxIters)
 	c.Compute(res.Flops)
 	copy(ctx.St.X, x)
 	return nil

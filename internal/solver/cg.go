@@ -69,6 +69,9 @@ type Options struct {
 	// interacts with forward recovery. Convergence is still measured on
 	// the unpreconditioned residual so scheme comparisons stay uniform.
 	Jacobi bool
+	// Work, when non-nil, supplies reusable solver buffers so repeated
+	// solves stop allocating. See Workspace for the aliasing caveat.
+	Work *Workspace
 }
 
 // Result reports a distributed CG solve from one rank's perspective. The
@@ -101,16 +104,21 @@ func CG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Partition, opt
 	op := NewLocalOp(c, a, part)
 	n := op.N
 
+	ws := opts.Work
+	if ws == nil {
+		ws = new(Workspace)
+	}
 	st := &State{
 		A:      a,
 		B:      b,
 		Part:   part,
-		BLocal: vec.Clone(part.Slice(b, c.Rank())),
-		X:      make([]float64, n),
-		R:      make([]float64, n),
-		P:      make([]float64, n),
-		Q:      make([]float64, n),
+		BLocal: wsSized(&ws.bLocal, n),
+		X:      wsZeroed(&ws.x, n),
+		R:      wsSized(&ws.r, n),
+		P:      wsSized(&ws.p, n),
+		Q:      wsSized(&ws.q, n),
 	}
+	copy(st.BLocal, part.Slice(b, c.Rank()))
 	if opts.X0 != nil {
 		copy(st.X, part.Slice(opts.X0, c.Rank()))
 	}
@@ -124,10 +132,11 @@ func CG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Partition, opt
 	}
 
 	// Jacobi preconditioner: the inverse of this rank's diagonal entries.
-	var invD []float64
+	// z holds the preconditioned residual; plain CG never touches either.
+	var invD, z []float64
 	if opts.Jacobi {
 		lo, _ := part.Range(c.Rank())
-		invD = make([]float64, n)
+		invD = wsSized(&ws.invD, n)
 		for i := range invD {
 			d := a.At(lo+i, lo+i)
 			if d <= 0 || math.IsNaN(d) {
@@ -136,8 +145,8 @@ func CG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Partition, opt
 				invD[i] = 1 / d
 			}
 		}
+		z = wsSized(&ws.z, n)
 	}
-	z := make([]float64, n) // preconditioned residual (aliases R when plain CG)
 
 	// rr tracks ||r||² for convergence; Rho tracks rᵀz for the recurrence
 	// (they coincide for plain CG).
@@ -154,9 +163,8 @@ func CG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Partition, opt
 				z[i] = invD[i] * st.R[i]
 			}
 			c.Compute(int64(n))
-			sums := c.AllreduceSum([]float64{vec.Dot(st.R, z), vec.Dot(st.R, st.R)})
+			st.Rho, rr = c.AllreduceSum2(vec.Dot(st.R, z), vec.Dot(st.R, st.R))
 			c.Compute(2 * vec.DotFlops(n))
-			st.Rho, rr = sums[0], sums[1]
 			copy(st.P, z)
 		} else {
 			copy(st.P, st.R)
@@ -225,21 +233,29 @@ func CG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Partition, opt
 		}
 		alpha := st.Rho / pq
 		vec.Axpy(alpha, st.P, st.X)
-		vec.Axpy(-alpha, st.Q, st.R)
-		c.Compute(2 * vec.AxpyFlops(n))
 		var rhoNew float64
 		if opts.Jacobi {
-			for i := range z {
-				z[i] = invD[i] * st.R[i]
+			// Fused update: r -= alpha q, z = invD.*r, and the two local
+			// reductions in one pass. Element values and ascending-order
+			// accumulation match the unfused sequence bit-for-bit.
+			var localRZ, localRR float64
+			for i, qi := range st.Q {
+				ri := st.R[i] - alpha*qi
+				st.R[i] = ri
+				zi := invD[i] * ri
+				z[i] = zi
+				localRZ += ri * zi
+				localRR += ri * ri
 			}
+			c.Compute(2 * vec.AxpyFlops(n))
 			c.Compute(int64(n))
-			sums := c.AllreduceSum([]float64{vec.Dot(st.R, z), vec.Dot(st.R, st.R)})
+			rhoNew, rr = c.AllreduceSum2(localRZ, localRR)
 			c.Compute(2 * vec.DotFlops(n))
-			rhoNew, rr = sums[0], sums[1]
 			beta := rhoNew / st.Rho
 			vec.Xpby(z, beta, st.P)
 		} else {
-			localRR := vec.Dot(st.R, st.R)
+			localRR := vec.AxpyDot(-alpha, st.Q, st.R)
+			c.Compute(2 * vec.AxpyFlops(n))
 			c.Compute(vec.DotFlops(n))
 			rhoNew = c.AllreduceScalarSum(localRR)
 			rr = rhoNew

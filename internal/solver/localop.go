@@ -38,11 +38,13 @@ type LocalOp struct {
 	neighbors []int         // peer ranks, ascending
 	needIdx   map[int][]int // global cols needed from each neighbor (sorted)
 	sendIdx   map[int][]int // local row offsets each neighbor needs from us
+	recvSlot  map[int][]int // ghost slots for each neighbor's values, in needIdx order
 	ghostSlot map[int]int   // global col -> ghost slot
 	nGhost    int
 
 	xbuf    []float64 // [own | ghost] assembled vector
 	sendBuf []float64
+	recvBuf []float64
 }
 
 // NewLocalOp builds the rank-local operator and performs the one-time
@@ -81,6 +83,23 @@ func NewLocalOp(c *cluster.Comm, a *sparse.CSR, part *sparse.Partition) *LocalOp
 		op.neighbors = append(op.neighbors, o)
 	}
 	sort.Ints(op.neighbors)
+
+	// Precompute ghost slots per neighbor and size the receive buffer so
+	// the per-iteration halo exchange does no map lookups or allocations.
+	op.recvSlot = make(map[int][]int, len(op.neighbors))
+	maxNeed := 0
+	for _, o := range op.neighbors {
+		cols := op.needIdx[o]
+		slots := make([]int, len(cols))
+		for i, col := range cols {
+			slots[i] = op.ghostSlot[col]
+		}
+		op.recvSlot[o] = slots
+		if len(cols) > maxNeed {
+			maxNeed = len(cols)
+		}
+	}
+	op.recvBuf = make([]float64, maxNeed)
 
 	// Pairwise exchange of need lists (symmetric neighbor relation).
 	for _, o := range op.neighbors {
@@ -142,13 +161,12 @@ func (op *LocalOp) GatherHalo(c *cluster.Comm, x []float64) []float64 {
 		c.Send(o, tagHalo, buf)
 	}
 	for _, o := range op.neighbors {
-		vals := c.Recv(o, tagHalo)
-		cols := op.needIdx[o]
-		if len(vals) != len(cols) {
-			panic(fmt.Sprintf("solver: halo from %d has %d values, want %d", o, len(vals), len(cols)))
-		}
-		for i, col := range cols {
-			op.xbuf[op.N+op.ghostSlot[col]] = vals[i]
+		slots := op.recvSlot[o]
+		vals := op.recvBuf[:len(slots)]
+		c.RecvInto(o, tagHalo, vals)
+		ghost := op.xbuf[op.N:]
+		for i, slot := range slots {
+			ghost[slot] = vals[i]
 		}
 	}
 	return op.xbuf

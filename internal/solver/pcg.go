@@ -18,6 +18,12 @@ import (
 // Convergence is measured on the true residual norm ||b - Op x|| relative
 // to ||b||, matching SeqCG's criterion.
 func SeqPCG(apply ApplyFunc, flopsPerApply int64, diag, b, x []float64, tol float64, maxIters int) SeqResult {
+	return SeqPCGWork(nil, apply, flopsPerApply, diag, b, x, tol, maxIters)
+}
+
+// SeqPCGWork is SeqPCG with caller-supplied scratch buffers, so the
+// per-fault reconstruction solves stop allocating. ws may be nil.
+func SeqPCGWork(ws *SeqWorkspace, apply ApplyFunc, flopsPerApply int64, diag, b, x []float64, tol float64, maxIters int) SeqResult {
 	n := len(b)
 	if len(x) != n || len(diag) != n {
 		panic(fmt.Sprintf("solver: SeqPCG len(x)=%d len(diag)=%d len(b)=%d", len(x), len(diag), n))
@@ -25,9 +31,12 @@ func SeqPCG(apply ApplyFunc, flopsPerApply int64, diag, b, x []float64, tol floa
 	if maxIters <= 0 {
 		maxIters = 10 * n
 	}
+	if ws == nil {
+		ws = new(SeqWorkspace)
+	}
 	res := SeqResult{}
 
-	invD := make([]float64, n)
+	invD := wsSized(&ws.invD, n)
 	for i, d := range diag {
 		if d <= 0 || math.IsNaN(d) {
 			// Non-SPD-consistent diagonal: fall back to identity scaling
@@ -38,10 +47,10 @@ func SeqPCG(apply ApplyFunc, flopsPerApply int64, diag, b, x []float64, tol floa
 		invD[i] = 1 / d
 	}
 
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	q := make([]float64, n)
+	r := wsSized(&ws.r, n)
+	z := wsSized(&ws.z, n)
+	p := wsSized(&ws.p, n)
+	q := wsSized(&ws.q, n)
 
 	apply(r, x)
 	vec.Sub(r, b, r)
@@ -74,13 +83,19 @@ func SeqPCG(apply ApplyFunc, flopsPerApply int64, diag, b, x []float64, tol floa
 		}
 		alpha := rho / pq
 		vec.Axpy(alpha, p, x)
-		vec.Axpy(-alpha, q, r)
-		res.Flops += 2 * vec.AxpyFlops(n)
-		for i := range z {
-			z[i] = invD[i] * r[i]
+		// Fused update: r -= alpha q, z = invD.*r, and both reductions in
+		// one pass — bitwise-identical to the unfused sequence.
+		var rhoNew, rrNew float64
+		for i, qi := range q {
+			ri := r[i] - alpha*qi
+			r[i] = ri
+			zi := invD[i] * ri
+			z[i] = zi
+			rhoNew += ri * zi
+			rrNew += ri * ri
 		}
-		rhoNew := vec.Dot(r, z)
-		rr = vec.Dot(r, r)
+		rr = rrNew
+		res.Flops += 2 * vec.AxpyFlops(n)
 		res.Flops += int64(n) + 2*vec.DotFlops(n)
 		beta := rhoNew / rho
 		vec.Xpby(z, beta, p)
@@ -95,19 +110,40 @@ func SeqPCG(apply ApplyFunc, flopsPerApply int64, diag, b, x []float64, tol floa
 // SeqPCGMatrix is SeqPCG on a CSR operator with its own diagonal as the
 // preconditioner.
 func SeqPCGMatrix(a *sparse.CSR, b, x []float64, tol float64, maxIters int) SeqResult {
+	return SeqPCGMatrixWork(nil, a, b, x, tol, maxIters)
+}
+
+// SeqPCGMatrixWork is SeqPCGMatrix with caller-supplied scratch buffers.
+// ws may be nil.
+func SeqPCGMatrixWork(ws *SeqWorkspace, a *sparse.CSR, b, x []float64, tol float64, maxIters int) SeqResult {
 	if a.Rows != a.Cols || a.Rows != len(b) {
 		panic(fmt.Sprintf("solver: SeqPCGMatrix %s with len(b)=%d", a, len(b)))
 	}
-	return SeqPCG(func(y, v []float64) { a.MulVec(y, v) }, a.SpMVFlops(), a.Diag(), b, x, tol, maxIters)
+	if ws == nil {
+		ws = new(SeqWorkspace)
+	}
+	diag := wsSized(&ws.diag, a.Rows)
+	for i := range diag {
+		diag[i] = a.At(i, i)
+	}
+	return SeqPCGWork(ws, func(y, v []float64) { a.MulVec(y, v) }, a.SpMVFlops(), diag, b, x, tol, maxIters)
 }
 
 // PCGLS solves min ||rhs' - G x|| for the LSI normal-equation operator
 // G = M*Mᵀ with Jacobi preconditioning by diag(G)_i = ||row_i(M)||².
 func PCGLS(m *sparse.CSR, rhs, x []float64, tol float64, maxIters int) SeqResult {
+	return PCGLSWork(nil, m, rhs, x, tol, maxIters)
+}
+
+// PCGLSWork is PCGLS with caller-supplied scratch buffers. ws may be nil.
+func PCGLSWork(ws *SeqWorkspace, m *sparse.CSR, rhs, x []float64, tol float64, maxIters int) SeqResult {
 	if len(rhs) != m.Rows || len(x) != m.Rows {
 		panic(fmt.Sprintf("solver: PCGLS %s with len(rhs)=%d len(x)=%d", m, len(rhs), len(x)))
 	}
-	diag := make([]float64, m.Rows)
+	if ws == nil {
+		ws = new(SeqWorkspace)
+	}
+	diag := wsSized(&ws.diag, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		_, vals := m.Row(i)
 		var s float64
@@ -116,10 +152,10 @@ func PCGLS(m *sparse.CSR, rhs, x []float64, tol float64, maxIters int) SeqResult
 		}
 		diag[i] = s
 	}
-	tmp := make([]float64, m.Cols)
+	tmp := wsSized(&ws.tmp, m.Cols)
 	apply := func(y, v []float64) {
 		m.MulTransVec(tmp, v)
 		m.MulVec(y, tmp)
 	}
-	return SeqPCG(apply, 2*m.SpMVFlops(), diag, rhs, x, tol, maxIters)
+	return SeqPCGWork(ws, apply, 2*m.SpMVFlops(), diag, rhs, x, tol, maxIters)
 }

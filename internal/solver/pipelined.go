@@ -42,15 +42,20 @@ func PipelinedCG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Parti
 	op := NewLocalOp(c, a, part)
 	n := op.N
 
-	bLocal := vec.Clone(part.Slice(b, c.Rank()))
-	x := make([]float64, n)
+	ws := opts.Work
+	if ws == nil {
+		ws = new(Workspace)
+	}
+	bLocal := wsSized(&ws.bLocal, n)
+	copy(bLocal, part.Slice(b, c.Rank()))
+	x := wsZeroed(&ws.x, n)
 	if opts.X0 != nil {
 		copy(x, part.Slice(opts.X0, c.Rank()))
 	}
-	r := make([]float64, n)
-	w := make([]float64, n)
-	p := make([]float64, n)
-	q := make([]float64, n)
+	r := wsSized(&ws.r, n)
+	w := wsSized(&ws.z, n) // the extra pipelined recurrence vector
+	p := wsZeroed(&ws.p, n)
+	q := wsZeroed(&ws.q, n)
 
 	// r = b - A x;  w = A r.
 	op.MulVecDist(c, r, x)
@@ -73,8 +78,7 @@ func PipelinedCG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Parti
 		localG := vec.Dot(r, r)
 		localD := vec.Dot(w, r)
 		c.Compute(2 * vec.DotFlops(n))
-		sums := c.AllreduceSum([]float64{localG, localD})
-		gamma, delta := sums[0], sums[1]
+		gamma, delta := c.AllreduceSum2(localG, localD)
 
 		relres := math.Sqrt(gamma) / normB
 		if c.Rank() == 0 {

@@ -30,6 +30,12 @@ type SeqResult struct {
 // instead of LU/QR, trading exactness (unneeded — the target is itself an
 // approximation of the lost data) for time and energy.
 func SeqCG(apply ApplyFunc, flopsPerApply int64, b, x []float64, tol float64, maxIters int) SeqResult {
+	return SeqCGWork(nil, apply, flopsPerApply, b, x, tol, maxIters)
+}
+
+// SeqCGWork is SeqCG with caller-supplied scratch buffers, so repeated
+// reconstruction solves (one per fault) stop allocating. ws may be nil.
+func SeqCGWork(ws *SeqWorkspace, apply ApplyFunc, flopsPerApply int64, b, x []float64, tol float64, maxIters int) SeqResult {
 	n := len(b)
 	if len(x) != n {
 		panic(fmt.Sprintf("solver: SeqCG len(x)=%d len(b)=%d", len(x), n))
@@ -37,11 +43,14 @@ func SeqCG(apply ApplyFunc, flopsPerApply int64, b, x []float64, tol float64, ma
 	if maxIters <= 0 {
 		maxIters = 10 * n
 	}
+	if ws == nil {
+		ws = new(SeqWorkspace)
+	}
 	res := SeqResult{}
 
-	r := make([]float64, n)
-	p := make([]float64, n)
-	q := make([]float64, n)
+	r := wsSized(&ws.r, n)
+	p := wsSized(&ws.p, n)
+	q := wsSized(&ws.q, n)
 
 	apply(r, x)
 	vec.Sub(r, b, r)
@@ -71,8 +80,7 @@ func SeqCG(apply ApplyFunc, flopsPerApply int64, b, x []float64, tol float64, ma
 		}
 		alpha := rho / pq
 		vec.Axpy(alpha, p, x)
-		vec.Axpy(-alpha, q, r)
-		rhoNew := vec.Dot(r, r)
+		rhoNew := vec.AxpyDot(-alpha, q, r)
 		res.Flops += 2*vec.AxpyFlops(n) + vec.DotFlops(n)
 		beta := rhoNew / rho
 		vec.Xpby(r, beta, p)
@@ -102,13 +110,21 @@ func SeqCGMatrix(a *sparse.CSR, b, x []float64, tol float64, maxIters int) SeqRe
 // The operator G = M*Mᵀ is SPD when M has full row rank, so plain CG
 // applies; each application costs two SpMVs with M.
 func CGLS(m *sparse.CSR, rhs, x []float64, tol float64, maxIters int) SeqResult {
+	return CGLSWork(nil, m, rhs, x, tol, maxIters)
+}
+
+// CGLSWork is CGLS with caller-supplied scratch buffers. ws may be nil.
+func CGLSWork(ws *SeqWorkspace, m *sparse.CSR, rhs, x []float64, tol float64, maxIters int) SeqResult {
 	if len(rhs) != m.Rows || len(x) != m.Rows {
 		panic(fmt.Sprintf("solver: CGLS %s with len(rhs)=%d len(x)=%d", m, len(rhs), len(x)))
 	}
-	tmp := make([]float64, m.Cols)
+	if ws == nil {
+		ws = new(SeqWorkspace)
+	}
+	tmp := wsSized(&ws.tmp, m.Cols)
 	apply := func(y, v []float64) {
 		m.MulTransVec(tmp, v)
 		m.MulVec(y, tmp)
 	}
-	return SeqCG(apply, 2*m.SpMVFlops(), rhs, x, tol, maxIters)
+	return SeqCGWork(ws, apply, 2*m.SpMVFlops(), rhs, x, tol, maxIters)
 }

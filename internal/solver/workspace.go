@@ -1,0 +1,41 @@
+package solver
+
+// Workspace holds the per-rank dense buffers of a distributed CG solve.
+// Passing one via Options.Work lets repeated solves — benchmark loops,
+// recovery re-solves, sweep harnesses — reuse allocations instead of
+// re-making every vector. A zero Workspace is ready to use; buffers grow
+// on demand and are retained across solves.
+//
+// The Result.XLocal of a solve aliases the workspace, so callers that
+// reuse one workspace across solves must copy XLocal before the next
+// solve if they still need it.
+type Workspace struct {
+	bLocal, x, r, p, q, z, invD []float64
+}
+
+// SeqWorkspace is the sequential-solver analogue, reused across the
+// per-fault reconstruction solves of the LI/LSI recovery schemes.
+type SeqWorkspace struct {
+	r, z, p, q, invD, diag, tmp []float64
+}
+
+// wsSized returns a length-n slice backed by *buf with undefined
+// contents, growing *buf only when capacity is insufficient. Use it for
+// buffers the solver fully overwrites before reading.
+func wsSized(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// wsZeroed is wsSized plus clearing, for buffers whose initial zeros are
+// semantically meaningful (the x = 0 initial guess).
+func wsZeroed(buf *[]float64, n int) []float64 {
+	s := wsSized(buf, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

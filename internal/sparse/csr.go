@@ -69,17 +69,30 @@ func (m *CSR) Row(i int) (cols []int, vals []float64) {
 // RowNNZ returns the number of stored entries in row i.
 func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
 
+// The SpMV kernels below hoist every per-element bounds check out of the
+// inner loop: ranging over the row's column slice bounds k and c, and
+// re-slicing vals to len(cols) proves vals[k] safe. The accumulator is a
+// single in-order chain, so results are bitwise-identical to the naive
+// scalar loop (Go never reassociates floating-point additions). A 4-way
+// unrolled variant was measured slower: with one accumulator the adds
+// form a dependency chain the CPU cannot pipeline, so unrolling only
+// adds loop-body overhead — the win is entirely in the hoisting.
+
 // MulVec computes y = A*x. y must have length Rows and x length Cols.
 func (m *CSR) MulVec(y, x []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("sparse: MulVec dims %dx%d with len(x)=%d len(y)=%d",
 			m.Rows, m.Cols, len(x), len(y)))
 	}
-	for i := 0; i < m.Rows; i++ {
+	rowPtr := m.RowPtr
+	for i := range y {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		cols := m.ColIdx[lo:hi]
+		vals := m.Val[lo:hi]
+		vals = vals[:len(cols)]
 		var s float64
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
 		y[i] = s
 	}
@@ -88,13 +101,18 @@ func (m *CSR) MulVec(y, x []float64) {
 // MulVecAdd computes y += A*x.
 func (m *CSR) MulVecAdd(y, x []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
-		panic("sparse: MulVecAdd dimension mismatch")
+		panic(fmt.Sprintf("sparse: MulVecAdd dims %dx%d with len(x)=%d len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
 	}
-	for i := 0; i < m.Rows; i++ {
+	rowPtr := m.RowPtr
+	for i := range y {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		cols := m.ColIdx[lo:hi]
+		vals := m.Val[lo:hi]
+		vals = vals[:len(cols)]
 		var s float64
-		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
 		y[i] += s
 	}
@@ -103,16 +121,19 @@ func (m *CSR) MulVecAdd(y, x []float64) {
 // MulTransVecAdd computes y += Aᵀ*x. y must have length Cols, x length Rows.
 func (m *CSR) MulTransVecAdd(y, x []float64) {
 	if len(x) != m.Rows || len(y) != m.Cols {
-		panic("sparse: MulTransVecAdd dimension mismatch")
+		panic(fmt.Sprintf("sparse: MulTransVecAdd dims %dx%d with len(x)=%d len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
+	for i, xi := range x {
 		if xi == 0 {
 			continue
 		}
 		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			y[m.ColIdx[k]] += m.Val[k] * xi
+		cols := m.ColIdx[lo:hi]
+		vals := m.Val[lo:hi]
+		vals = vals[:len(cols)]
+		for k, c := range cols {
+			y[c] += vals[k] * xi
 		}
 	}
 }

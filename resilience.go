@@ -213,6 +213,14 @@ func Experiments() []Experiment { return experiments.All() }
 // RunExperiment executes one experiment by id ("fig5", "tab6", ...) at
 // scale "tiny", "ci" or "paper".
 func RunExperiment(id, scale string) (*ExperimentResult, error) {
+	return RunExperimentWorkers(id, scale, 0)
+}
+
+// RunExperimentWorkers is RunExperiment with an explicit worker count for
+// the concurrent experiment engine. Zero means "use the RES_WORKERS
+// environment variable, else GOMAXPROCS"; one forces sequential
+// execution. The rendered output is byte-identical for any value.
+func RunExperimentWorkers(id, scale string, workers int) (*ExperimentResult, error) {
 	sc, err := matgen.ParseScale(scale)
 	if err != nil {
 		return nil, err
@@ -221,5 +229,7 @@ func RunExperiment(id, scale string) (*ExperimentResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("resilience: unknown experiment %q", id)
 	}
-	return r.Run(experiments.Default(sc))
+	cfg := experiments.Default(sc)
+	cfg.Workers = workers
+	return r.Run(cfg)
 }
