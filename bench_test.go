@@ -71,6 +71,7 @@ func BenchmarkAblationMultilevelCkpt(b *testing.B)   { benchExperiment(b, "ablat
 func BenchmarkAblationSDCLatency(b *testing.B)       { benchExperiment(b, "ablation-sdc") }
 func BenchmarkAblationPipelinedCG(b *testing.B)      { benchExperiment(b, "ablation-pipeline") }
 func BenchmarkAblationConstructionCost(b *testing.B) { benchExperiment(b, "ablation-construction") }
+func BenchmarkAblationOverlap(b *testing.B)          { benchExperiment(b, "ablation-overlap") }
 
 // --- kernel micro-benchmarks --------------------------------------------
 
@@ -144,6 +145,61 @@ func BenchmarkAllreduceScalar(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkHaloExchange measures one collective halo exchange on the
+// distributed operator (4 ranks, 1024-row stencil): the per-iteration
+// communication cost every MulVecDist pays.
+func BenchmarkHaloExchange(b *testing.B) {
+	a := Laplacian2D(32)
+	const ranks = 4
+	part := sparse.NewPartition(a.Rows, ranks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err := cluster.Run(ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+		op := solver.NewLocalOp(c, a, part)
+		x := make([]float64, op.N)
+		for i := range x {
+			x[i] = float64(i % 13)
+		}
+		for i := 0; i < b.N; i++ {
+			op.GatherHalo(c, x)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchMulVecDist measures the distributed SpMV on the fused or
+// overlapped path; both compute bitwise-identical products, so any
+// wall-clock gap between them is pure kernel-dispatch overhead.
+func benchMulVecDist(b *testing.B, overlap bool) {
+	a := Laplacian2D(32)
+	const ranks = 4
+	part := sparse.NewPartition(a.Rows, ranks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err := cluster.Run(ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+		op := solver.NewLocalOp(c, a, part)
+		op.SetOverlap(overlap)
+		x := make([]float64, op.N)
+		y := make([]float64, op.N)
+		for i := range x {
+			x[i] = float64(i % 13)
+		}
+		for i := 0; i < b.N; i++ {
+			op.MulVecDist(c, y, x)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMulVecDistFused(b *testing.B)   { benchMulVecDist(b, false) }
+func BenchmarkMulVecDistOverlap(b *testing.B) { benchMulVecDist(b, true) }
 
 // BenchmarkCGIteration measures one full distributed CG inner iteration
 // (halo exchange + SpMV, two dots, two scalar allreduces, the fused

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
 	"strings"
@@ -50,7 +52,22 @@ type File struct {
 	Schema      string            `json:"schema"`
 	CreatedUnix int64             `json:"created_unix"`
 	GoMaxProcs  int               `json:"go_maxprocs"`
+	GitRevision string            `json:"git_revision,omitempty"`
 	Benchmarks  map[string]Record `json:"benchmarks"`
+}
+
+// gitRevision returns the current commit hash (with a "-dirty" suffix for
+// a modified tree), or "" when git or the repository is unavailable.
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(bytes.TrimSpace(st)) > 0 {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 // Regression is one baseline comparison that exceeded the threshold.
@@ -61,7 +78,9 @@ type Regression struct {
 
 // Diff compares cur against base. Missing or added benchmarks are not
 // regressions (the suite evolves); only measured-vs-measured pairs count.
-func Diff(base, cur map[string]Record, threshold float64) []Regression {
+// toleranceBytes is the allowed absolute growth in bytes/op before a
+// regression is flagged (0 means any growth fails).
+func Diff(base, cur map[string]Record, threshold float64, toleranceBytes int64) []Regression {
 	var regs []Regression
 	names := make([]string, 0, len(cur))
 	for name := range cur {
@@ -81,6 +100,10 @@ func Diff(base, cur map[string]Record, threshold float64) []Regression {
 		if c.AllocsPerOp > b.AllocsPerOp {
 			regs = append(regs, Regression{name, fmt.Sprintf("allocs/op %d -> %d",
 				b.AllocsPerOp, c.AllocsPerOp)})
+		}
+		if c.BytesPerOp > b.BytesPerOp+toleranceBytes {
+			regs = append(regs, Regression{name, fmt.Sprintf("bytes/op %d -> %d (+%d > %d)",
+				b.BytesPerOp, c.BytesPerOp, c.BytesPerOp-b.BytesPerOp, toleranceBytes)})
 		}
 	}
 	return regs
@@ -192,6 +215,33 @@ func kernelSuite() []namedBench {
 				b.Fatal(err)
 			}
 		}},
+		{"HaloExchange/p4-g32", func(b *testing.B) {
+			a := resilience.Laplacian2D(32)
+			const ranks = 4
+			part := sparse.NewPartition(a.Rows, ranks)
+			b.ReportAllocs()
+			b.ResetTimer()
+			_, err := cluster.Run(ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+				op := solver.NewLocalOp(c, a, part)
+				x := make([]float64, op.N)
+				for i := range x {
+					x[i] = float64(i % 13)
+				}
+				for i := 0; i < b.N; i++ {
+					op.GatherHalo(c, x)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"MulVecDistFused/p4-g32", func(b *testing.B) {
+			benchMulVecDist(b, false)
+		}},
+		{"MulVecDistOverlap/p4-g32", func(b *testing.B) {
+			benchMulVecDist(b, true)
+		}},
 		{"CGIteration/p4-g32", func(b *testing.B) {
 			a := resilience.Laplacian2D(32)
 			rhs, _ := resilience.RHS(a)
@@ -233,6 +283,33 @@ func kernelSuite() []namedBench {
 				b.Fatal(err)
 			}
 		}},
+	}
+}
+
+// benchMulVecDist measures the distributed SpMV on the fused or
+// overlapped path; both compute bitwise-identical products, so any
+// wall-clock gap is pure kernel-dispatch overhead.
+func benchMulVecDist(b *testing.B, overlap bool) {
+	a := resilience.Laplacian2D(32)
+	const ranks = 4
+	part := sparse.NewPartition(a.Rows, ranks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err := cluster.Run(ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+		op := solver.NewLocalOp(c, a, part)
+		op.SetOverlap(overlap)
+		x := make([]float64, op.N)
+		y := make([]float64, op.N)
+		for i := range x {
+			x[i] = float64(i % 13)
+		}
+		for i := 0; i < b.N; i++ {
+			op.MulVecDist(c, y, x)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 }
 
@@ -280,6 +357,7 @@ func writeResults(path string, recs map[string]Record) error {
 		Schema:      Schema,
 		CreatedUnix: time.Now().Unix(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GitRevision: gitRevision(),
 		Benchmarks:  recs,
 	}
 	data, err := json.MarshalIndent(&f, "", "  ")
@@ -293,6 +371,7 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "write results to this JSON file ('' to skip)")
 	baseline := flag.String("baseline", "", "compare against this earlier results file")
 	threshold := flag.Float64("threshold", 0.2, "allowed fractional ns/op growth before a regression is flagged")
+	toleranceBytes := flag.Int64("tolerance-bytes", 0, "allowed absolute bytes/op growth before a regression is flagged")
 	filter := flag.String("filter", "", "only run benchmarks whose name contains this substring")
 	scale := flag.String("scale", "tiny", "workload scale for -artifacts runs: tiny, ci or paper")
 	artifacts := flag.Bool("artifacts", false, "also benchmark the paper-artifact experiment runners")
@@ -308,6 +387,10 @@ func main() {
 	}
 	if *threshold < 0 {
 		fmt.Fprintf(os.Stderr, "-threshold must be >= 0, got %g\n", *threshold)
+		os.Exit(2)
+	}
+	if *toleranceBytes < 0 {
+		fmt.Fprintf(os.Stderr, "-tolerance-bytes must be >= 0, got %d\n", *toleranceBytes)
 		os.Exit(2)
 	}
 
@@ -336,7 +419,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(recs))
 	}
 	if base != nil {
-		regs := Diff(base.Benchmarks, recs, *threshold)
+		regs := Diff(base.Benchmarks, recs, *threshold, *toleranceBytes)
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "REGRESSION %s: %s\n", r.Name, r.Reason)

@@ -19,22 +19,50 @@ func TestDiffThreshold(t *testing.T) {
 		"CGIter":    {NsPerOp: 19000, AllocsPerOp: 0},
 		"Allreduce": {NsPerOp: 1200, AllocsPerOp: 0},
 	}
-	if regs := Diff(base, cur, 0.2); len(regs) != 0 {
+	if regs := Diff(base, cur, 0.2, 0); len(regs) != 0 {
 		t.Errorf("within-threshold diff flagged regressions: %v", regs)
 	}
 	// 30% slower regresses; a benchmark missing from the baseline does not.
 	cur["SpMV"] = Record{NsPerOp: 1300}
 	cur["NewBench"] = Record{NsPerOp: 1}
-	regs := Diff(base, cur, 0.2)
+	regs := Diff(base, cur, 0.2, 0)
 	if len(regs) != 1 || regs[0].Name != "SpMV" {
 		t.Errorf("want exactly one SpMV ns/op regression, got %v", regs)
 	}
 	// A zero-allocation kernel starting to allocate always regresses, even
 	// when faster.
 	cur["SpMV"] = Record{NsPerOp: 500, AllocsPerOp: 2}
-	regs = Diff(base, cur, 0.2)
+	regs = Diff(base, cur, 0.2, 0)
 	if len(regs) != 1 || regs[0].Name != "SpMV" {
 		t.Errorf("want exactly one SpMV allocs regression, got %v", regs)
+	}
+}
+
+func TestDiffToleranceBytes(t *testing.T) {
+	base := map[string]Record{
+		"SpMV": {NsPerOp: 1000, BytesPerOp: 100},
+	}
+	// Growth within the tolerance passes.
+	cur := map[string]Record{
+		"SpMV": {NsPerOp: 1000, BytesPerOp: 160},
+	}
+	if regs := Diff(base, cur, 0.2, 64); len(regs) != 0 {
+		t.Errorf("within-tolerance bytes growth flagged: %v", regs)
+	}
+	// Growth beyond the tolerance regresses even at identical speed.
+	cur["SpMV"] = Record{NsPerOp: 1000, BytesPerOp: 165}
+	regs := Diff(base, cur, 0.2, 64)
+	if len(regs) != 1 || regs[0].Name != "SpMV" {
+		t.Errorf("want exactly one SpMV bytes regression, got %v", regs)
+	}
+	// Zero tolerance: any growth fails; shrinking never does.
+	cur["SpMV"] = Record{NsPerOp: 1000, BytesPerOp: 101}
+	if regs := Diff(base, cur, 0.2, 0); len(regs) != 1 {
+		t.Errorf("want bytes regression at zero tolerance, got %v", regs)
+	}
+	cur["SpMV"] = Record{NsPerOp: 1000, BytesPerOp: 50}
+	if regs := Diff(base, cur, 0.2, 0); len(regs) != 0 {
+		t.Errorf("bytes shrink flagged: %v", regs)
 	}
 }
 

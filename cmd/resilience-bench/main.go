@@ -23,6 +23,7 @@ func main() {
 	scale := flag.String("scale", "ci", "workload scale: tiny, ci or paper")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	workers := flag.Int("workers", 0, "experiment-engine worker count (0: RES_WORKERS env, else GOMAXPROCS; 1: sequential)")
+	overlap := flag.Bool("overlap", false, "overlap halo exchange with interior SpMV in every distributed solve (false: RES_OVERLAP env, else fused)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -45,7 +46,8 @@ func main() {
 	failed := 0
 	for _, id := range ids {
 		start := time.Now()
-		res, err := resilience.RunExperimentWorkers(strings.TrimSpace(id), *scale, *workers)
+		res, err := resilience.RunExperimentOpts(strings.TrimSpace(id), *scale,
+			resilience.ExperimentOptions{Workers: *workers, Overlap: *overlap})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			failed++

@@ -16,6 +16,12 @@ type Comm struct {
 	freq     float64
 	phase    string
 	waitIdle bool // whether waiting time is charged at idle power
+
+	// nicFree is the virtual time at which the rank's network interface
+	// finishes injecting its last posted message. Nonblocking sends cost
+	// no CPU time but serialize on the NIC: a burst of ISends completes
+	// one wire-time apart, never all at once.
+	nicFree float64
 }
 
 func newComm(rank int, rt *Runtime) *Comm {

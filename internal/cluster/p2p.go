@@ -64,6 +64,11 @@ func (mb *mailbox) abort() {
 // Send transmits a copy of data to rank `to` with the given tag. The
 // sender's clock advances by the injection cost; the message carries its
 // modeled arrival time.
+//
+// Aliasing contract: Send copies data into an internal buffer before
+// returning, so the caller may immediately reuse or overwrite data. Code
+// that reuses one staging buffer across consecutive Sends (as the fused
+// halo exchange does) relies on this copy; TestSendCopiesPayload pins it.
 func (c *Comm) Send(to, tag int, data []float64) {
 	c.checkAbort()
 	if to < 0 || to >= c.rt.p {
@@ -72,10 +77,19 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	cost := c.rt.plat.P2PTime(int64(8 * len(data)))
 	// The sender is occupied while injecting the message.
 	c.ElapseActive(cost)
+	if c.clock > c.nicFree {
+		c.nicFree = c.clock
+	}
+	c.post(to, tag, data, c.clock)
+}
+
+// post copies data into a pooled payload and enqueues it with the given
+// arrival time.
+func (c *Comm) post(to, tag int, data []float64, arrive float64) {
 	mb := c.rt.mail
 	pl := mb.getPayload(len(data))
 	copy(pl.data, data)
-	msg := message{pl: pl, arrive: c.clock}
+	msg := message{pl: pl, arrive: arrive}
 
 	mb.mu.Lock()
 	k := mkey{from: c.rank, to: to, tag: tag}
@@ -84,9 +98,92 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	mb.cond.Broadcast()
 }
 
+// SendReq is the completion handle returned by ISend.
+type SendReq struct {
+	arrive float64
+}
+
+// Wait completes the send. Under the model the payload is copied at post
+// time, so the buffer is already reusable and Wait returns immediately
+// without advancing the clock; it exists for API symmetry with RecvReq.
+func (r *SendReq) Wait() {}
+
+// Arrive returns the modeled time at which the message lands at the
+// receiver.
+func (r *SendReq) Arrive() float64 { return r.arrive }
+
+// ISend posts a nonblocking send. Unlike Send it charges no CPU time:
+// the NIC carries the injection, serializing with any earlier posted
+// sends, so a burst of k ISends has its last message arrive k wire-times
+// after the first injection starts. Overlapped spans therefore cost
+// max(communication, concurrent compute) rather than their sum.
+//
+// Aliasing contract: like Send, ISend copies data before returning, so
+// the buffer may be reused immediately. Callers should still prefer
+// per-destination owned buffers (as the overlapped halo exchange does)
+// so the code stays correct if a zero-copy transport is ever modeled.
+func (c *Comm) ISend(to, tag int, data []float64) SendReq {
+	c.checkAbort()
+	if to < 0 || to >= c.rt.p {
+		panic(fmt.Sprintf("cluster: ISend to invalid rank %d", to))
+	}
+	cost := c.rt.plat.P2PTime(int64(8 * len(data)))
+	start := c.clock
+	if c.nicFree > start {
+		start = c.nicFree
+	}
+	arrive := start + cost
+	c.nicFree = arrive
+	c.post(to, tag, data, arrive)
+	return SendReq{arrive: arrive}
+}
+
+// RecvReq is the completion handle returned by IRecvInto. Wait must be
+// called exactly once; the destination buffer holds the payload only
+// after Wait returns.
+type RecvReq struct {
+	c    *Comm
+	from int
+	tag  int
+	dst  []float64
+	done bool
+}
+
+// IRecvInto posts a nonblocking receive into dst. Posting costs no
+// virtual time and does not block; the message is matched, the clock
+// advanced to its arrival, and the payload copied when Wait is called.
+func (c *Comm) IRecvInto(from, tag int, dst []float64) RecvReq {
+	c.checkAbort()
+	if from < 0 || from >= c.rt.p {
+		panic(fmt.Sprintf("cluster: IRecvInto from invalid rank %d", from))
+	}
+	return RecvReq{c: c, from: from, tag: tag, dst: dst}
+}
+
+// Wait blocks until the posted receive's message is available, advances
+// the virtual clock to its arrival time (charged at wait power), and
+// copies the payload into the destination buffer.
+func (r *RecvReq) Wait() {
+	if r.done {
+		panic("cluster: RecvReq.Wait called twice")
+	}
+	r.done = true
+	c := r.c
+	c.checkAbort()
+	msg := c.dequeue(r.from, r.tag)
+	c.advanceTo(msg.arrive)
+	if len(msg.pl.data) != len(r.dst) {
+		panic(fmt.Sprintf("cluster: IRecvInto got %d values for a %d-length buffer", len(msg.pl.data), len(r.dst)))
+	}
+	copy(r.dst, msg.pl.data)
+	c.rt.mail.putPayload(msg.pl)
+}
+
 // dequeue pops the oldest message on (from→rank, tag), blocking until one
-// arrives. The queue slice keeps its capacity when drained so repeated
-// exchanges on the same channel do not reallocate.
+// arrives. The pop shifts the queue down in place instead of re-slicing
+// from the front, keeping the backing array anchored so a sender running
+// several exchanges ahead of its receiver never forces the queue to
+// reallocate on append.
 func (c *Comm) dequeue(from, tag int) message {
 	if from < 0 || from >= c.rt.p {
 		panic(fmt.Sprintf("cluster: Recv from invalid rank %d", from))
@@ -103,12 +200,9 @@ func (c *Comm) dequeue(from, tag int) message {
 	}
 	q := mb.queues[k]
 	msg := q[0]
-	q[0] = message{}
-	if len(q) == 1 {
-		mb.queues[k] = q[:0]
-	} else {
-		mb.queues[k] = q[1:]
-	}
+	n := copy(q, q[1:])
+	q[n] = message{}
+	mb.queues[k] = q[:n]
 	mb.mu.Unlock()
 	return msg
 }

@@ -1,6 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"math"
+	"testing"
+
+	"resilience/internal/core"
+	"resilience/internal/matgen"
+)
 
 // TestEngineDeterminism asserts the rendered output of an experiment is
 // byte-identical whether the engine runs its cells sequentially or on
@@ -31,6 +37,79 @@ func TestEngineDeterminism(t *testing.T) {
 					id, seq, par)
 			}
 		})
+	}
+}
+
+// TestOverlapSolverDeterminism asserts the overlapped solver path is a
+// pure clock-model change at ci scale: bitwise-identical residual
+// history, identical iteration count, bitwise-identical solution — and a
+// modeled time no worse than the fused path.
+func TestOverlapSolverDeterminism(t *testing.T) {
+	cfg := Default(matgen.CI)
+	s, err := cfg.loadSystem("Andrews")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOne := func(overlap bool) *core.RunReport {
+		rc := cfg.baseConfig(s)
+		rc.Overlap = overlap
+		rep, err := core.Run(rc)
+		if err != nil {
+			t.Fatalf("overlap=%t: %v", overlap, err)
+		}
+		if !rep.Converged {
+			t.Fatalf("overlap=%t did not converge (relres %g after %d iters)", overlap, rep.RelRes, rep.Iters)
+		}
+		return rep
+	}
+	fused := runOne(false)
+	over := runOne(true)
+
+	if fused.Iters != over.Iters {
+		t.Errorf("iteration counts differ: fused %d, overlapped %d", fused.Iters, over.Iters)
+	}
+	if math.Float64bits(fused.RelRes) != math.Float64bits(over.RelRes) {
+		t.Errorf("final residuals differ: fused %x, overlapped %x",
+			math.Float64bits(fused.RelRes), math.Float64bits(over.RelRes))
+	}
+	if len(fused.History) != len(over.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(fused.History), len(over.History))
+	}
+	for i := range fused.History {
+		if math.Float64bits(fused.History[i]) != math.Float64bits(over.History[i]) {
+			t.Fatalf("residual history diverges at iteration %d: %x vs %x",
+				i, math.Float64bits(fused.History[i]), math.Float64bits(over.History[i]))
+		}
+	}
+	if len(fused.Solution) != len(over.Solution) {
+		t.Fatalf("solution lengths differ: %d vs %d", len(fused.Solution), len(over.Solution))
+	}
+	for i := range fused.Solution {
+		if math.Float64bits(fused.Solution[i]) != math.Float64bits(over.Solution[i]) {
+			t.Fatalf("solution diverges at row %d", i)
+		}
+	}
+	if over.Time > fused.Time {
+		t.Errorf("overlapped modeled time %g exceeds fused %g", over.Time, fused.Time)
+	}
+}
+
+// TestOverlapResolution checks the precedence of the overlap knobs:
+// Config.Overlap beats RES_OVERLAP beats the fused default.
+func TestOverlapResolution(t *testing.T) {
+	if (Config{}).overlapEnabled() {
+		t.Error("overlap must default to off")
+	}
+	t.Setenv("RES_OVERLAP", "1")
+	if !(Config{}).overlapEnabled() {
+		t.Error("RES_OVERLAP=1 must enable overlap")
+	}
+	t.Setenv("RES_OVERLAP", "0")
+	if (Config{}).overlapEnabled() {
+		t.Error("RES_OVERLAP=0 must leave overlap off")
+	}
+	if !(Config{Overlap: true}).overlapEnabled() {
+		t.Error("Config.Overlap must override the environment")
 	}
 }
 

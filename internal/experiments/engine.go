@@ -31,6 +31,20 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// overlapEnabled resolves the halo-overlap setting: Config.Overlap when
+// set, else the RES_OVERLAP environment variable ("1"/"true"/"on"), else
+// off — the seed behavior.
+func (c Config) overlapEnabled() bool {
+	if c.Overlap {
+		return true
+	}
+	switch os.Getenv("RES_OVERLAP") {
+	case "1", "true", "TRUE", "on", "yes":
+		return true
+	}
+	return false
+}
+
 // runCells executes fn(0..n-1) on the configured worker pool and returns
 // the lowest-indexed error, matching what sequential execution would
 // report first. With one worker it degrades to a plain loop that stops at

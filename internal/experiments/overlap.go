@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"resilience/internal/core"
+	"resilience/internal/matgen"
+	"resilience/internal/report"
+	"resilience/internal/sparse"
+)
+
+func init() {
+	register("ablation-overlap", "Ablation: halo exchange overlapped with interior SpMV", runAblationOverlap)
+}
+
+// minInteriorFrac returns the smallest per-rank fraction of owned rows
+// that touch no off-block column. The slowest rank sets the solve's
+// critical path, so the minimum governs how much exchange the overlap
+// can actually hide.
+func minInteriorFrac(a *sparse.CSR, ranks int) float64 {
+	part := sparse.NewPartition(a.Rows, ranks)
+	minFrac := 1.0
+	for r := 0; r < ranks; r++ {
+		lo, hi := part.Range(r)
+		if hi <= lo {
+			continue
+		}
+		interior := 0
+		for i := lo; i < hi; i++ {
+			rowInterior := true
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if c := a.ColIdx[k]; c < lo || c >= hi {
+					rowInterior = false
+					break
+				}
+			}
+			if rowInterior {
+				interior++
+			}
+		}
+		if frac := float64(interior) / float64(hi-lo); frac < minFrac {
+			minFrac = frac
+		}
+	}
+	return minFrac
+}
+
+// runAblationOverlap quantifies the modeled savings of hiding the halo
+// exchange behind the interior SpMV on a 5-point stencil, the boundary
+// structure the paper's weak-scaling projection assumes. Row-blocked
+// partitions keep exactly two grid lines of boundary rows per interior
+// rank, so the interior fraction — and with it the hideable exchange —
+// shrinks as ranks grow until every row is boundary and overlap cannot
+// help at all.
+func runAblationOverlap(cfg Config) (*Result, error) {
+	s, err := cfg.loadSystem("5-point stencil")
+	if err != nil {
+		return nil, err
+	}
+
+	var plist []int
+	switch cfg.Scale {
+	case matgen.Tiny:
+		plist = []int{2, 4, 8}
+	default:
+		plist = []int{2, 4, 8, 16, 32}
+	}
+
+	// One cell per (rank count, variant): even index fused, odd overlapped.
+	reps := make([]*core.RunReport, 2*len(plist))
+	err = cfg.runCells(len(reps), func(i int) error {
+		rc := cfg.baseConfig(s)
+		rc.Ranks = plist[i/2]
+		rc.Overlap = i%2 == 1
+		rep, err := core.Run(rc)
+		if err != nil {
+			return fmt.Errorf("experiments: overlap ablation p=%d overlap=%t: %w", rc.Ranks, rc.Overlap, err)
+		}
+		if !rep.Converged {
+			return fmt.Errorf("experiments: overlap ablation p=%d overlap=%t did not converge", rc.Ranks, rc.Overlap)
+		}
+		reps[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Halo/compute overlap: 5-point stencil analog (%d rows), fault-free", s.a.Rows),
+		"#p", "Interior frac", "Iters", "Fused T (s)", "Overlap T (s)", "T saved", "Fused E (J)", "Overlap E (J)")
+	for pi, p := range plist {
+		fused, over := reps[2*pi], reps[2*pi+1]
+		if fused.Iters != over.Iters {
+			return nil, fmt.Errorf("experiments: overlap changed iteration count at p=%d: %d vs %d",
+				p, fused.Iters, over.Iters)
+		}
+		t.AddF(p, minInteriorFrac(s.a, p), fused.Iters,
+			fused.Time, over.Time,
+			fmt.Sprintf("%.1f%%", 100*(1-over.Time/fused.Time)),
+			fused.Energy, over.Energy)
+	}
+	return &Result{
+		ID:     "ablation-overlap",
+		Title:  "Halo exchange overlapped with interior SpMV",
+		Tables: []*report.Table{t},
+		Notes: []string{
+			"Expectation: overlap hides min(send injection, interior compute) per exchange; savings shrink as the interior fraction falls with rank count and vanish once every row is boundary (all-boundary ranks).",
+			"Iteration counts and residual histories are bitwise-identical between the two paths; only the modeled clock differs.",
+		},
+	}, nil
+}

@@ -72,6 +72,11 @@ type Options struct {
 	// Work, when non-nil, supplies reusable solver buffers so repeated
 	// solves stop allocating. See Workspace for the aliasing caveat.
 	Work *Workspace
+	// Overlap selects the overlapped MulVecDist path (halo exchange hidden
+	// behind the interior SpMV). Numerics are bitwise-identical either
+	// way; only the modeled clock changes. Collective: every rank must
+	// pass the same value.
+	Overlap bool
 }
 
 // Result reports a distributed CG solve from one rank's perspective. The
@@ -102,6 +107,7 @@ func CG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Partition, opt
 		opts.MaxIters = 10 * a.Rows
 	}
 	op := NewLocalOp(c, a, part)
+	op.SetOverlap(opts.Overlap)
 	n := op.N
 
 	ws := opts.Work

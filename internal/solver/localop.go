@@ -45,7 +45,73 @@ type LocalOp struct {
 	xbuf    []float64 // [own | ghost] assembled vector
 	sendBuf []float64
 	recvBuf []float64
+
+	// Interior/boundary split of localA for the overlapped SpMV path:
+	// interior rows touch no ghost column and can be multiplied while the
+	// halo exchange is in flight; boundary rows wait for it to complete.
+	interior *blockRows
+	boundary *blockRows
+	overlap  bool
+
+	// Per-neighbor owned buffers for the overlapped path: every posted
+	// send and pending receive keeps its own storage, so in-flight
+	// payloads never alias whatever staging buffer the next post reuses.
+	sendBufs map[int][]float64
+	recvBufs map[int][]float64
+	recvReqs []cluster.RecvReq
 }
+
+// blockRows is a packed subset of a matrix's rows: row i of the subset is
+// original row rows[i], with its entries stored in the original order.
+// mulVecInto writes y[rows[i]] directly, so splitting a matrix into
+// disjoint row subsets and applying each reproduces the full MulVec
+// bit-for-bit: per-row accumulation order is untouched and every target
+// element is stored exactly once.
+type blockRows struct {
+	rows   []int
+	rowPtr []int
+	colIdx []int
+	val    []float64
+}
+
+func newBlockRows(a *sparse.CSR, rows []int) *blockRows {
+	b := &blockRows{
+		rows:   rows,
+		rowPtr: make([]int, len(rows)+1),
+	}
+	nnz := 0
+	for _, r := range rows {
+		nnz += a.RowPtr[r+1] - a.RowPtr[r]
+	}
+	b.colIdx = make([]int, 0, nnz)
+	b.val = make([]float64, 0, nnz)
+	for i, r := range rows {
+		lo, hi := a.RowPtr[r], a.RowPtr[r+1]
+		b.colIdx = append(b.colIdx, a.ColIdx[lo:hi]...)
+		b.val = append(b.val, a.Val[lo:hi]...)
+		b.rowPtr[i+1] = len(b.val)
+	}
+	return b
+}
+
+// mulVecInto computes y[rows[i]] = sum_k val[k]*x[colIdx[k]] for each
+// packed row, mirroring sparse.CSR.MulVec's accumulation order.
+func (b *blockRows) mulVecInto(y, x []float64) {
+	rowPtr := b.rowPtr
+	for i, r := range b.rows {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		cols := b.colIdx[lo:hi]
+		vals := b.val[lo:hi]
+		vals = vals[:len(cols)]
+		var s float64
+		for k, c := range cols {
+			s += vals[k] * x[c]
+		}
+		y[r] = s
+	}
+}
+
+func (b *blockRows) flops() int64 { return 2 * int64(len(b.val)) }
 
 // NewLocalOp builds the rank-local operator and performs the one-time
 // need-list exchange. Every rank must call it collectively. The matrix a
@@ -132,8 +198,52 @@ func NewLocalOp(c *cluster.Comm, a *sparse.CSR, part *sparse.Partition) *LocalOp
 	// it, and localA is not exposed.
 	op.localA = la
 	op.xbuf = make([]float64, op.N+op.nGhost)
+
+	// Split localA rows by whether they touch a ghost column. Rows with
+	// no entries are interior (they depend on nothing remote).
+	var intRows, bdyRows []int
+	for i := 0; i < op.N; i++ {
+		touchesGhost := false
+		for k := la.RowPtr[i]; k < la.RowPtr[i+1]; k++ {
+			if la.ColIdx[k] >= op.N {
+				touchesGhost = true
+				break
+			}
+		}
+		if touchesGhost {
+			bdyRows = append(bdyRows, i)
+		} else {
+			intRows = append(intRows, i)
+		}
+	}
+	op.interior = newBlockRows(la, intRows)
+	op.boundary = newBlockRows(la, bdyRows)
+
+	// Per-neighbor owned buffers for the overlapped halo exchange.
+	op.sendBufs = make(map[int][]float64, len(op.neighbors))
+	op.recvBufs = make(map[int][]float64, len(op.neighbors))
+	for _, o := range op.neighbors {
+		op.sendBufs[o] = make([]float64, len(op.sendIdx[o]))
+		op.recvBufs[o] = make([]float64, len(op.needIdx[o]))
+	}
+	op.recvReqs = make([]cluster.RecvReq, len(op.neighbors))
 	return op
 }
+
+// SetOverlap selects the overlapped MulVecDist path: halo sends and
+// receives are posted nonblocking, the interior rows are multiplied
+// while the exchange is in flight, and the boundary rows follow once it
+// completes. The result is bitwise-identical to the fused path; only the
+// modeled clock differs. Collective discipline applies: every rank must
+// use the same setting.
+func (op *LocalOp) SetOverlap(on bool) { op.overlap = on }
+
+// Overlap reports whether the overlapped MulVecDist path is selected.
+func (op *LocalOp) Overlap() bool { return op.overlap }
+
+// InteriorRows returns how many owned rows touch no ghost column — the
+// rows whose SpMV work can hide the halo exchange.
+func (op *LocalOp) InteriorRows() int { return len(op.interior.rows) }
 
 // Neighbors returns the peer ranks this rank exchanges halo data with.
 func (op *LocalOp) Neighbors() []int { return op.neighbors }
@@ -173,12 +283,59 @@ func (op *LocalOp) GatherHalo(c *cluster.Comm, x []float64) []float64 {
 }
 
 // MulVecDist computes the local block of the distributed product
-// y = A*x, where x and y are this rank's owned blocks. It performs the
-// halo exchange and charges the SpMV flops to the rank's clock.
+// y = A*x, where x and y are this rank's owned blocks. It dispatches to
+// the fused or overlapped kernel according to SetOverlap; both produce
+// bitwise-identical y.
 func (op *LocalOp) MulVecDist(c *cluster.Comm, y, x []float64) {
+	if op.overlap {
+		op.mulVecDistOverlap(c, y, x)
+		return
+	}
 	buf := op.GatherHalo(c, x)
 	op.localA.MulVec(y, buf)
 	c.Compute(op.localA.SpMVFlops())
+}
+
+// mulVecDistOverlap hides the halo exchange behind the interior SpMV:
+// post every send and receive nonblocking, multiply the interior rows
+// while messages are in flight, then complete the receives, scatter the
+// ghost values, and multiply the boundary rows. Sends charge no CPU time
+// (the NIC injects them, serially), so the overlapped span costs
+// max(halo exchange, interior compute) on the modeled clock instead of
+// their sum. When every row is boundary (tiny blocks, many ranks) there
+// is no interior work to hide behind and the path degenerates to the
+// fused cost.
+func (op *LocalOp) mulVecDistOverlap(c *cluster.Comm, y, x []float64) {
+	if len(x) != op.N {
+		panic(fmt.Sprintf("solver: MulVecDist len(x)=%d, want %d", len(x), op.N))
+	}
+	copy(op.xbuf[:op.N], x)
+	for _, o := range op.neighbors {
+		buf := op.sendBufs[o]
+		for i, li := range op.sendIdx[o] {
+			buf[i] = x[li]
+		}
+		c.ISend(o, tagHalo, buf)
+	}
+	for i, o := range op.neighbors {
+		op.recvReqs[i] = c.IRecvInto(o, tagHalo, op.recvBufs[o])
+	}
+
+	// Interior rows read only owned entries of xbuf, so they are safe to
+	// multiply before the ghost region is filled.
+	op.interior.mulVecInto(y, op.xbuf)
+	c.Compute(op.interior.flops())
+
+	ghost := op.xbuf[op.N:]
+	for i, o := range op.neighbors {
+		op.recvReqs[i].Wait()
+		vals := op.recvBufs[o]
+		for j, slot := range op.recvSlot[o] {
+			ghost[slot] = vals[j]
+		}
+	}
+	op.boundary.mulVecInto(y, op.xbuf)
+	c.Compute(op.boundary.flops())
 }
 
 // OffDiagApply computes y = b_local - sum_{j != rank} A_{rank,j} x_j given

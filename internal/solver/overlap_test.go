@@ -1,0 +1,165 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"resilience/internal/cluster"
+	"resilience/internal/matgen"
+	"resilience/internal/platform"
+	"resilience/internal/power"
+	"resilience/internal/sparse"
+)
+
+// randSymCSR builds a random structurally symmetric matrix with a full
+// diagonal — the pattern class LocalOp's pairwise halo plan requires.
+func randSymCSR(rng *rand.Rand, n, extraPerRow int) *sparse.CSR {
+	cols := make([]map[int]float64, n)
+	for i := 0; i < n; i++ {
+		cols[i] = map[int]float64{i: 2 + rng.Float64()}
+	}
+	for i := 0; i < n; i++ {
+		for e := 0; e < extraPerRow; e++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			cols[i][j] = v
+			cols[j][i] = v
+		}
+	}
+	m := sparse.NewCSR(n, n, 0)
+	for i := 0; i < n; i++ {
+		var cs []int
+		for j := range cols[i] {
+			cs = append(cs, j)
+		}
+		sort.Ints(cs)
+		for _, j := range cs {
+			m.ColIdx = append(m.ColIdx, j)
+			m.Val = append(m.Val, cols[i][j])
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// TestMulVecDistOverlapBitwise pins the tentpole equivalence: the
+// overlapped distributed SpMV produces bitwise-identical results to the
+// fused kernel (and to the sequential global product) over random
+// structurally symmetric matrices and partitions, across repeated
+// applications that reuse the operators' internal buffers.
+func TestMulVecDistOverlapBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct{ n, extra, ranks int }{
+		{1, 0, 1},
+		{4, 1, 2},
+		{9, 2, 3},
+		{16, 3, 4},
+		{33, 2, 5},
+		{64, 4, 8},
+		{100, 6, 7},
+		{128, 3, 16},
+	}
+	for _, tc := range cases {
+		a := randSymCSR(rng, tc.n, tc.extra)
+		part := sparse.NewPartition(tc.n, tc.ranks)
+		// Three rounds with distinct global vectors exercise buffer reuse
+		// (stale ghost values, in-flight aliasing) across iterations.
+		xs := make([][]float64, 3)
+		for r := range xs {
+			xs[r] = make([]float64, tc.n)
+			for i := range xs[r] {
+				xs[r][i] = rng.NormFloat64()
+			}
+		}
+		_, err := cluster.Run(tc.ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+			fused := NewLocalOp(c, a, part)
+			over := NewLocalOp(c, a, part)
+			over.SetOverlap(true)
+			if got := fused.InteriorRows() + len(fused.boundary.rows); got != fused.N {
+				return fmt.Errorf("rank %d: interior+boundary rows %d != %d owned", c.Rank(), got, fused.N)
+			}
+			if got := fused.interior.flops() + fused.boundary.flops(); got != fused.localA.SpMVFlops() {
+				return fmt.Errorf("rank %d: split flops %d != fused %d", c.Rank(), got, fused.localA.SpMVFlops())
+			}
+			lo, hi := part.Range(c.Rank())
+			yRef := make([]float64, tc.n)
+			y1 := make([]float64, fused.N)
+			y2 := make([]float64, over.N)
+			for r, x := range xs {
+				a.MulVec(yRef, x)
+				xl := part.Slice(x, c.Rank())
+				fused.MulVecDist(c, y1, xl)
+				over.MulVecDist(c, y2, xl)
+				for i := 0; i < fused.N; i++ {
+					if math.Float64bits(y1[i]) != math.Float64bits(y2[i]) {
+						return fmt.Errorf("rank %d round %d: overlap row %d = %x, fused = %x",
+							c.Rank(), r, lo+i, math.Float64bits(y2[i]), math.Float64bits(y1[i]))
+					}
+					if math.Float64bits(y1[i]) != math.Float64bits(yRef[lo+i]) {
+						return fmt.Errorf("rank %d round %d: fused row %d = %x, global = %x",
+							c.Rank(), r, lo+i, math.Float64bits(y1[i]), math.Float64bits(yRef[lo+i]))
+					}
+				}
+				_ = hi
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d ranks=%d: %v", tc.n, tc.ranks, err)
+		}
+	}
+}
+
+// TestOverlapNeverSlower checks the clock model end-to-end on a stencil:
+// an overlapped CG solve's modeled time never exceeds the fused solve's,
+// and the iterates match bitwise.
+func TestOverlapNeverSlower(t *testing.T) {
+	a := matgen.Laplacian2D(24)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	for _, ranks := range []int{2, 4, 8} {
+		part := sparse.NewPartition(a.Rows, ranks)
+		var tFused, tOver float64
+		var hFused, hOver []float64
+		for _, overlap := range []bool{false, true} {
+			var hist []float64
+			maxClock, err := cluster.Run(ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+				res, err := CG(c, a, b, part, Options{Tol: 1e-10, Overlap: overlap})
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					hist = res.History
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if overlap {
+				tOver, hOver = maxClock, hist
+			} else {
+				tFused, hFused = maxClock, hist
+			}
+		}
+		if tOver > tFused {
+			t.Errorf("ranks=%d: overlapped solve slower than fused: %g > %g", ranks, tOver, tFused)
+		}
+		if len(hFused) != len(hOver) {
+			t.Fatalf("ranks=%d: history lengths differ: %d vs %d", ranks, len(hFused), len(hOver))
+		}
+		for i := range hFused {
+			if math.Float64bits(hFused[i]) != math.Float64bits(hOver[i]) {
+				t.Fatalf("ranks=%d: residual history diverges at iteration %d", ranks, i)
+			}
+		}
+	}
+}

@@ -121,6 +121,10 @@ type SolveOptions struct {
 	// Jacobi enables diagonal preconditioning of the distributed CG
 	// (extension beyond the paper).
 	Jacobi bool
+	// Overlap hides the halo exchange behind the interior SpMV in every
+	// distributed matrix-vector product. The iterates are bitwise-
+	// identical either way; only the modeled time and energy change.
+	Overlap bool
 
 	Platform *Platform
 	// KeepPowerSegments retains the full power trace for profiles.
@@ -158,6 +162,7 @@ func Solve(a *Matrix, b []float64, opts SolveOptions) (*Report, error) {
 		Tol:          opts.Tol,
 		MaxIters:     opts.MaxIters,
 		Jacobi:       opts.Jacobi,
+		Overlap:      opts.Overlap,
 		KeepSegments: opts.KeepPowerSegments,
 		Trace:        opts.Trace,
 		Seed:         opts.Seed,
@@ -213,7 +218,7 @@ func Experiments() []Experiment { return experiments.All() }
 // RunExperiment executes one experiment by id ("fig5", "tab6", ...) at
 // scale "tiny", "ci" or "paper".
 func RunExperiment(id, scale string) (*ExperimentResult, error) {
-	return RunExperimentWorkers(id, scale, 0)
+	return RunExperimentOpts(id, scale, ExperimentOptions{})
 }
 
 // RunExperimentWorkers is RunExperiment with an explicit worker count for
@@ -221,6 +226,23 @@ func RunExperiment(id, scale string) (*ExperimentResult, error) {
 // environment variable, else GOMAXPROCS"; one forces sequential
 // execution. The rendered output is byte-identical for any value.
 func RunExperimentWorkers(id, scale string, workers int) (*ExperimentResult, error) {
+	return RunExperimentOpts(id, scale, ExperimentOptions{Workers: workers})
+}
+
+// ExperimentOptions tune how an experiment executes without changing what
+// it measures (except Overlap, which switches the modeled SpMV kernel).
+type ExperimentOptions struct {
+	// Workers bounds the engine's cell concurrency; zero means "use the
+	// RES_WORKERS environment variable, else GOMAXPROCS".
+	Workers int
+	// Overlap runs every distributed solve with the halo exchange hidden
+	// behind the interior SpMV; false defers to the RES_OVERLAP
+	// environment variable, else the fused seed behavior.
+	Overlap bool
+}
+
+// RunExperimentOpts is RunExperiment with explicit engine options.
+func RunExperimentOpts(id, scale string, opts ExperimentOptions) (*ExperimentResult, error) {
 	sc, err := matgen.ParseScale(scale)
 	if err != nil {
 		return nil, err
@@ -230,6 +252,7 @@ func RunExperimentWorkers(id, scale string, workers int) (*ExperimentResult, err
 		return nil, fmt.Errorf("resilience: unknown experiment %q", id)
 	}
 	cfg := experiments.Default(sc)
-	cfg.Workers = workers
+	cfg.Workers = opts.Workers
+	cfg.Overlap = opts.Overlap
 	return r.Run(cfg)
 }

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Repo health check: the tier-1 gate plus a race-detector pass over the
+# Repo health check: the tier-1 gate, a race-detector pass over the
 # packages with real concurrency (the simulated cluster, the solvers that
-# run inside it, and the parallel experiment engine).
+# run inside it, and the parallel experiment engine), and a benchdiff
+# comparison against the most recent BENCH_*.json perf baseline.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +11,11 @@ go build ./...
 go test ./...
 go vet ./...
 go test -race ./internal/cluster/... ./internal/solver/... ./internal/experiments/...
+
+# Perf trajectory: fail on ns/op, allocs/op or bytes/op regressions
+# against the latest recorded baseline. Kernel-only (fast); the timing
+# threshold is generous because CI machines are noisy.
+baseline=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -n 1 || true)
+if [ -n "$baseline" ]; then
+    go run ./cmd/benchdiff -out '' -baseline "$baseline" -threshold 0.5 -tolerance-bytes 64
+fi
