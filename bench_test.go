@@ -207,14 +207,26 @@ func BenchmarkMulVecDistOverlap(b *testing.B) { benchMulVecDist(b, true) }
 // re-anchored from a zeroed iterate every 50 iterations with pure
 // copies, so the loop runs indefinitely; steady state must be 0
 // allocs/op.
-func BenchmarkCGIteration(b *testing.B) {
+func BenchmarkCGIteration(b *testing.B) { benchCGIteration(b, false) }
+
+// BenchmarkCGIterationObserved is the same loop with a span recorder
+// attached: the cost of observability when it is on. Span appends
+// amortize but are not allocation-free, so only the tracing-off variant
+// is part of the 0 allocs/op gate.
+func BenchmarkCGIterationObserved(b *testing.B) { benchCGIteration(b, true) }
+
+func benchCGIteration(b *testing.B, observed bool) {
 	a := Laplacian2D(32) // 1024 rows
 	rhs, _ := RHS(a)
 	const ranks = 4
 	part := sparse.NewPartition(a.Rows, ranks)
+	rt := cluster.NewRuntime(ranks, platform.Default(), power.NewMeter(false))
+	if observed {
+		rt.SetRecorder(NewRecorder())
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	_, err := cluster.Run(ranks, platform.Default(), power.NewMeter(false), func(c *cluster.Comm) error {
+	_, err := rt.Run(func(c *cluster.Comm) error {
 		op := solver.NewLocalOp(c, a, part)
 		n := op.N
 		bl := make([]float64, n)

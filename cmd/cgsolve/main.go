@@ -15,9 +15,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"resilience"
+	"resilience/internal/obs"
 	"resilience/internal/sparse"
 )
 
@@ -39,9 +42,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	asJSON := flag.Bool("json", false, "emit the run report as JSON")
 	traceFile := flag.String("trace", "", "write a per-iteration CSV trace to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (load in Perfetto) to this file")
+	metricsFile := flag.String("metrics", "", "write per-rank counters as CSV to this file ('-' for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile (real time, not virtual) to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	catalog := flag.Bool("catalog", false, "list catalog matrices and exit")
 	schemes := flag.Bool("schemes", false, "list schemes and exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *catalog {
 		for _, n := range resilience.CatalogNames() {
@@ -78,9 +96,32 @@ func main() {
 		tr = resilience.NewTrace()
 		opts.Trace = tr
 	}
+	var rec *resilience.Recorder
+	if *traceOut != "" || *metricsFile != "" {
+		rec = resilience.NewRecorder()
+		opts.Observer = rec
+		// Segments feed the power counter tracks of the timeline export.
+		opts.KeepPowerSegments = opts.KeepPowerSegments || *traceOut != ""
+	}
 	rep, err := resilience.Solve(a, b, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, rec, rep.Meter)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline: %d spans on %d ranks written to %s (open in Perfetto)\n",
+			rec.SpanCount(), rec.Ranks(), *traceOut)
+	}
+	if *metricsFile != "" {
+		if err := writeFile(*metricsFile, func(w io.Writer) error {
+			return obs.WriteMetricsCSV(w, rec.Metrics())
+		}); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if tr != nil {
 		f, err := os.Create(*traceFile)
@@ -102,9 +143,39 @@ func main() {
 	} else {
 		printReport(os.Stdout, rep)
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if !rep.Converged {
+		pprof.StopCPUProfile()
 		os.Exit(2)
 	}
+}
+
+// writeFile runs emit against the named file, with "-" meaning stdout.
+func writeFile(path string, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeJSON emits the report without the bulky solution/history vectors.

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"sync"
+
+	"resilience/internal/obs"
 )
 
 // collectiveState implements generation-counted collectives. A bulk-
@@ -163,8 +165,13 @@ func (cs *collectiveState) enterScalar(rank int, clock, v0, v1 float64) (r0, r1,
 func (c *Comm) collect(bytesPerStage int64, contribution any, combine func(all []any) any) any {
 	c.checkAbort()
 	value, tmax := c.rt.coll.enter(c.rank, c.clock, contribution, combine)
-	c.advanceTo(tmax)
-	c.ElapseActive(c.rt.plat.CollectiveTime(bytesPerStage, c.rt.p))
+	c.advanceTo(tmax, obs.SpanWait)
+	cost := c.rt.plat.CollectiveTime(bytesPerStage, c.rt.p)
+	if c.obs != nil {
+		c.obs.Span(obs.SpanCollective, c.clock, cost)
+		c.obs.AddCollective()
+	}
+	c.ElapseActive(cost)
 	return value
 }
 
@@ -200,8 +207,13 @@ func (c *Comm) AllreduceSum(vals []float64) []float64 {
 func (c *Comm) AllreduceScalarSum(v float64) float64 {
 	c.checkAbort()
 	r0, _, tmax := c.rt.coll.enterScalar(c.rank, c.clock, v, 0)
-	c.advanceTo(tmax)
-	c.ElapseActive(c.rt.plat.CollectiveTime(8, c.rt.p))
+	c.advanceTo(tmax, obs.SpanWait)
+	cost := c.rt.plat.CollectiveTime(8, c.rt.p)
+	if c.obs != nil {
+		c.obs.Span(obs.SpanCollective, c.clock, cost)
+		c.obs.AddCollective()
+	}
+	c.ElapseActive(cost)
 	return r0
 }
 
@@ -211,8 +223,13 @@ func (c *Comm) AllreduceScalarSum(v float64) float64 {
 func (c *Comm) AllreduceSum2(a, b float64) (float64, float64) {
 	c.checkAbort()
 	r0, r1, tmax := c.rt.coll.enterScalar(c.rank, c.clock, a, b)
-	c.advanceTo(tmax)
-	c.ElapseActive(c.rt.plat.CollectiveTime(16, c.rt.p))
+	c.advanceTo(tmax, obs.SpanWait)
+	cost := c.rt.plat.CollectiveTime(16, c.rt.p)
+	if c.obs != nil {
+		c.obs.Span(obs.SpanCollective, c.clock, cost)
+		c.obs.AddCollective()
+	}
+	c.ElapseActive(cost)
 	return r0, r1
 }
 

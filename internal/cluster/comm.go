@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+
+	"resilience/internal/obs"
 )
 
 // Comm is a rank's handle on the parallel run: its identity, virtual
@@ -22,16 +24,36 @@ type Comm struct {
 	// no CPU time but serialize on the NIC: a burst of ISends completes
 	// one wire-time apart, never all at once.
 	nicFree float64
+
+	// obs is this rank's observability surface, nil unless a recorder was
+	// attached to the runtime. Recording reads the clock but never
+	// advances it, and a nil surface costs one pointer check on the hot
+	// path.
+	obs *obs.Rank
 }
 
 func newComm(rank int, rt *Runtime) *Comm {
-	return &Comm{
+	c := &Comm{
 		rank:  rank,
 		rt:    rt,
 		freq:  rt.plat.FreqMax,
 		phase: "solve",
 	}
+	if rt.rec != nil {
+		c.obs = rt.rec.Rank(rank)
+	}
+	return c
 }
+
+// Observer returns this rank's observability surface, or nil when no
+// recorder is attached. Callers recording composite spans (halo, SpMV
+// halves, recovery phases) bracket their work with Clock reads:
+//
+//	if o := c.Observer(); o != nil {
+//		start := c.Clock()
+//		defer func() { o.Span(obs.SpanHalo, start, c.Clock()-start) }()
+//	}
+func (c *Comm) Observer() *obs.Rank { return c.obs }
 
 // Rank returns this rank's id in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
@@ -85,7 +107,12 @@ func (c *Comm) Compute(flops int64) {
 	if flops <= 0 {
 		return
 	}
-	c.record(c.rt.plat.ComputeTime(flops, c.freq), c.rt.plat.PowerActive(c.freq))
+	dur := c.rt.plat.ComputeTime(flops, c.freq)
+	if c.obs != nil {
+		c.obs.Span(obs.SpanCompute, c.clock, dur)
+		c.obs.AddFlops(flops)
+	}
+	c.record(dur, c.rt.plat.PowerActive(c.freq))
 }
 
 // ElapseActive advances the clock by dur seconds at active power. It is
@@ -112,10 +139,15 @@ func (c *Comm) record(dur, watts float64) {
 	c.clock += dur
 }
 
-// advanceTo waits (in virtual time) until t, charging wait power.
-func (c *Comm) advanceTo(t float64) {
+// advanceTo waits (in virtual time) until t, charging wait power. kind
+// classifies the wait for the observability layer (a blocked receive vs a
+// collective arrival gap).
+func (c *Comm) advanceTo(t float64, kind obs.SpanKind) {
 	if t <= c.clock {
 		return
+	}
+	if c.obs != nil {
+		c.obs.Span(kind, c.clock, t-c.clock)
 	}
 	watts := c.rt.plat.PowerActive(c.freq)
 	if c.waitIdle {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"sync"
+
+	"resilience/internal/obs"
 )
 
 // mailbox implements matched point-to-point messaging with per-channel
@@ -75,6 +77,10 @@ func (c *Comm) Send(to, tag int, data []float64) {
 		panic(fmt.Sprintf("cluster: Send to invalid rank %d", to))
 	}
 	cost := c.rt.plat.P2PTime(int64(8 * len(data)))
+	if c.obs != nil {
+		c.obs.Span(obs.SpanSend, c.clock, cost)
+		c.obs.AddSend(int64(8 * len(data)))
+	}
 	// The sender is occupied while injecting the message.
 	c.ElapseActive(cost)
 	if c.clock > c.nicFree {
@@ -134,6 +140,11 @@ func (c *Comm) ISend(to, tag int, data []float64) SendReq {
 	}
 	arrive := start + cost
 	c.nicFree = arrive
+	// Counted but not spanned: the NIC, not the CPU, owns the injection
+	// interval, so it has no extent on the rank's timeline.
+	if c.obs != nil {
+		c.obs.AddSend(int64(8 * len(data)))
+	}
 	c.post(to, tag, data, arrive)
 	return SendReq{arrive: arrive}
 }
@@ -171,7 +182,10 @@ func (r *RecvReq) Wait() {
 	c := r.c
 	c.checkAbort()
 	msg := c.dequeue(r.from, r.tag)
-	c.advanceTo(msg.arrive)
+	c.advanceTo(msg.arrive, obs.SpanRecv)
+	if c.obs != nil {
+		c.obs.AddRecv(int64(8 * len(msg.pl.data)))
+	}
 	if len(msg.pl.data) != len(r.dst) {
 		panic(fmt.Sprintf("cluster: IRecvInto got %d values for a %d-length buffer", len(msg.pl.data), len(r.dst)))
 	}
@@ -213,7 +227,10 @@ func (c *Comm) dequeue(from, tag int) message {
 func (c *Comm) Recv(from, tag int) []float64 {
 	c.checkAbort()
 	msg := c.dequeue(from, tag)
-	c.advanceTo(msg.arrive)
+	c.advanceTo(msg.arrive, obs.SpanRecv)
+	if c.obs != nil {
+		c.obs.AddRecv(int64(8 * len(msg.pl.data)))
+	}
 	out := make([]float64, len(msg.pl.data))
 	copy(out, msg.pl.data)
 	c.rt.mail.putPayload(msg.pl)
@@ -226,7 +243,10 @@ func (c *Comm) Recv(from, tag int) []float64 {
 func (c *Comm) RecvInto(from, tag int, dst []float64) {
 	c.checkAbort()
 	msg := c.dequeue(from, tag)
-	c.advanceTo(msg.arrive)
+	c.advanceTo(msg.arrive, obs.SpanRecv)
+	if c.obs != nil {
+		c.obs.AddRecv(int64(8 * len(msg.pl.data)))
+	}
 	if len(msg.pl.data) != len(dst) {
 		panic(fmt.Sprintf("cluster: RecvInto got %d values for a %d-length buffer", len(msg.pl.data), len(dst)))
 	}

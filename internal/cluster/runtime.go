@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync"
 
+	"resilience/internal/obs"
 	"resilience/internal/platform"
 	"resilience/internal/power"
 )
@@ -36,6 +37,7 @@ type Runtime struct {
 	p     int
 	plat  *platform.Platform
 	meter *power.Meter
+	rec   *obs.Recorder
 
 	coll *collectiveState
 	mail *mailbox
@@ -58,6 +60,12 @@ func NewRuntime(p int, plat *platform.Platform, meter *power.Meter) *Runtime {
 	rt.mail = newMailbox(rt)
 	return rt
 }
+
+// SetRecorder attaches an observability recorder before Run: every rank's
+// Comm then records spans and counters against its surface. Recording is
+// pure — it reads the virtual clocks but never advances one — so runs are
+// byte-identical with or without a recorder. Must be called before Run.
+func (rt *Runtime) SetRecorder(rec *obs.Recorder) { rt.rec = rec }
 
 // abort records the first failure and unblocks every waiting rank.
 func (rt *Runtime) abort(err error) {

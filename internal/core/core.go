@@ -13,6 +13,7 @@ import (
 	"resilience/internal/checkpoint"
 	"resilience/internal/cluster"
 	"resilience/internal/fault"
+	"resilience/internal/obs"
 	"resilience/internal/platform"
 	"resilience/internal/power"
 	"resilience/internal/recovery"
@@ -127,6 +128,10 @@ type RunConfig struct {
 	// Trace, when non-nil, receives structured per-iteration and fault/
 	// recovery events (recorded by rank 0).
 	Trace *trace.Trace
+	// Obs, when non-nil, records per-rank spans and counters for the
+	// observability exporters. Recording is pure: virtual clocks, power,
+	// and every numeric result are byte-identical with or without it.
+	Obs *obs.Recorder
 	// Seed drives fault corruption patterns.
 	Seed int64
 }
@@ -161,6 +166,9 @@ type RunReport struct {
 	Solution []float64
 	// Meter exposes segments when KeepSegments was set.
 	Meter *power.Meter
+	// Obs echoes the recorder passed in RunConfig (nil otherwise), so
+	// callers can export spans and metrics from the report alone.
+	Obs *obs.Recorder
 }
 
 // buildScheme instantiates the per-rank scheme.
@@ -257,7 +265,8 @@ func (m *resMonitor) BeforeIteration(it *solver.Iter) (bool, error) {
 		m.faults = append(m.faults, *f)
 		if m.cfg.Trace != nil && it.C.Rank() == 0 {
 			m.cfg.Trace.Add(trace.Event{
-				Kind: trace.FaultEvent, Iter: it.K, Clock: clock, Detail: f.String(),
+				Kind: trace.FaultEvent, Iter: it.K, Rank: f.Rank, Clock: clock,
+				Detail: f.String(),
 			})
 		}
 		if m.scheme == nil {
@@ -280,8 +289,8 @@ func (m *resMonitor) BeforeIteration(it *solver.Iter) (bool, error) {
 		}
 		if m.cfg.Trace != nil && it.C.Rank() == 0 {
 			m.cfg.Trace.Add(trace.Event{
-				Kind: trace.RecoveryEvent, Iter: it.K, Clock: it.C.Clock(),
-				Detail: m.scheme.Name(),
+				Kind: trace.RecoveryEvent, Iter: it.K, Rank: f.Rank,
+				Clock: it.C.Clock(), Detail: m.scheme.Name(),
 			})
 		}
 		restart = restart || r
@@ -380,7 +389,11 @@ func Run(cfg RunConfig) (*RunReport, error) {
 	monitors := make([]*resMonitor, cfg.Ranks)
 	schemes := make([]recovery.Scheme, cfg.Ranks)
 
-	maxClock, err := cluster.Run(cfg.Ranks, cfg.Plat, meter, func(c *cluster.Comm) error {
+	rt := cluster.NewRuntime(cfg.Ranks, cfg.Plat, meter)
+	if cfg.Obs != nil {
+		rt.SetRecorder(cfg.Obs)
+	}
+	maxClock, err := rt.Run(func(c *cluster.Comm) error {
 		var x0Block []float64
 		if cfg.X0 != nil {
 			x0Block = append([]float64(nil), part.Slice(cfg.X0, c.Rank())...)
@@ -453,6 +466,7 @@ func Run(cfg RunConfig) (*RunReport, error) {
 	if cfg.KeepSegments {
 		report.Meter = meter
 	}
+	report.Obs = cfg.Obs
 	if cfg.Trace != nil {
 		cfg.Trace.Add(trace.Event{
 			Kind: trace.ConvergedEvent, Iter: report.Iters, Clock: report.Time,

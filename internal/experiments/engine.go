@@ -45,6 +45,19 @@ func (c Config) overlapEnabled() bool {
 	return false
 }
 
+// observeEnabled resolves the observability setting: Config.Observe when
+// set, else the RES_OBS environment variable ("1"/"true"/"on"), else off.
+func (c Config) observeEnabled() bool {
+	if c.Observe {
+		return true
+	}
+	switch os.Getenv("RES_OBS") {
+	case "1", "true", "TRUE", "on", "yes":
+		return true
+	}
+	return false
+}
+
 // runCells executes fn(0..n-1) on the configured worker pool and returns
 // the lowest-indexed error, matching what sequential execution would
 // report first. With one worker it degrades to a plain loop that stops at

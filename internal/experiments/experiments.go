@@ -13,6 +13,7 @@ import (
 	"resilience/internal/core"
 	"resilience/internal/fault"
 	"resilience/internal/matgen"
+	"resilience/internal/obs"
 	"resilience/internal/platform"
 	"resilience/internal/report"
 )
@@ -42,6 +43,11 @@ type Config struct {
 	// byte-identical by default. Numerics are bitwise-identical either
 	// way; modeled time and energy change.
 	Overlap bool
+	// Observe attaches a fresh, discarded observability recorder to every
+	// cell solve. False means "use the RES_OBS environment variable, else
+	// off". Rendered output is byte-identical either way — the point is to
+	// exercise the purity guarantee under the whole experiment matrix.
+	Observe bool
 }
 
 // Default returns the standard configuration for a scale.
@@ -214,7 +220,7 @@ func (c Config) baseConfig(s *system) core.RunConfig {
 	if ranks < 1 {
 		ranks = 1
 	}
-	return core.RunConfig{
+	rc := core.RunConfig{
 		A:        s.a,
 		B:        s.b,
 		Ranks:    ranks,
@@ -224,6 +230,12 @@ func (c Config) baseConfig(s *system) core.RunConfig {
 		Seed:     c.Seed,
 		Overlap:  c.overlapEnabled(),
 	}
+	if c.observeEnabled() {
+		// One private recorder per cell, discarded with the report: the
+		// tables must come out byte-identical whether or not anyone watched.
+		rc.Obs = obs.NewRecorder()
+	}
+	return rc
 }
 
 // faultFree returns the cached fault-free distributed baseline, computing

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"resilience/internal/power"
+)
+
+// goldenRecorder builds a tiny two-rank recorder and a segment-retaining
+// meter with a coverage gap on core 0, exercising every exporter branch:
+// M metadata, X spans, the aggregate counter delta-walk, and the per-core
+// zero samples at gaps and at the end.
+func goldenRecorder() (*Recorder, *power.Meter) {
+	rec := NewRecorder()
+	r0 := rec.Rank(0)
+	r0.Span(SpanCompute, 0, 1e-6)
+	r0.Span(SpanSend, 1e-6, 5e-7)
+	rec.Rank(1).Span(SpanRecv, 0, 1.5e-6)
+
+	m := power.NewMeter(true)
+	m.Record(0, "solve", 0, 1e-6, 90)
+	m.Record(0, "solve", 2e-6, 1e-6, 90)
+	m.Record(1, "solve", 0, 3e-6, 50)
+	return rec, m
+}
+
+// TestWriteChromeTraceGolden pins the exact exported bytes: field order,
+// float rendering, event ordering, and counter derivation are all part of
+// the format contract (Perfetto-loadable and diff-stable).
+func TestWriteChromeTraceGolden(t *testing.T) {
+	rec, m := goldenRecorder()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec, m); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"ranks"}},` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"power"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"rank 0"}},` +
+		`{"name":"compute","ph":"X","ts":0,"dur":1,"pid":0,"tid":0,"cat":"compute"},` +
+		`{"name":"send","ph":"X","ts":1,"dur":0.5,"pid":0,"tid":0,"cat":"comm"},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":1,"args":{"name":"rank 1"}},` +
+		`{"name":"recv","ph":"X","ts":0,"dur":1.5,"pid":0,"tid":1,"cat":"comm"},` +
+		`{"name":"cluster W","ph":"C","ts":0,"pid":1,"tid":0,"args":{"W":140}},` +
+		`{"name":"cluster W","ph":"C","ts":1,"pid":1,"tid":0,"args":{"W":50}},` +
+		`{"name":"cluster W","ph":"C","ts":2,"pid":1,"tid":0,"args":{"W":140}},` +
+		`{"name":"cluster W","ph":"C","ts":3,"pid":1,"tid":0,"args":{"W":0}},` +
+		`{"name":"core 0 W","ph":"C","ts":0,"pid":1,"tid":1,"args":{"W":90}},` +
+		`{"name":"core 0 W","ph":"C","ts":1,"pid":1,"tid":1,"args":{"W":0}},` +
+		`{"name":"core 0 W","ph":"C","ts":2,"pid":1,"tid":1,"args":{"W":90}},` +
+		`{"name":"core 0 W","ph":"C","ts":3,"pid":1,"tid":1,"args":{"W":0}},` +
+		`{"name":"core 1 W","ph":"C","ts":0,"pid":1,"tid":2,"args":{"W":50}},` +
+		`{"name":"core 1 W","ph":"C","ts":3,"pid":1,"tid":2,"args":{"W":0}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\ngot:  %s\nwant: %s", got, want)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("golden trace fails validation: %v", err)
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	rec, m := goldenRecorder()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, rec, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, rec, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same recorder differ")
+	}
+}
+
+func TestWriteChromeTraceNilParts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Errorf("metadata-only trace invalid: %v", err)
+	}
+	// A meter without segment retention contributes no counter tracks.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, NewRecorder(), power.NewMeter(false)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"ph":"C"`) {
+		t.Error("segment-less meter produced counter events")
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents":`,
+		"no events":     `{"traceEvents":[],"displayTimeUnit":"ms"}`,
+		"unknown phase": `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":0,"tid":0}]}`,
+		"negative ts":   `{"traceEvents":[{"name":"x","ph":"X","ts":-1,"dur":1,"pid":0,"tid":0}]}`,
+		"negative dur":  `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-1,"pid":0,"tid":0}]}`,
+		"unnamed X":     `{"traceEvents":[{"name":"","ph":"X","ts":0,"dur":1,"pid":0,"tid":0}]}`,
+		"ts regression": `{"traceEvents":[` +
+			`{"name":"a","ph":"X","ts":5,"dur":1,"pid":0,"tid":0},` +
+			`{"name":"b","ph":"X","ts":1,"dur":1,"pid":0,"tid":0}]}`,
+		"straddling spans": `{"traceEvents":[` +
+			`{"name":"a","ph":"X","ts":0,"dur":10,"pid":0,"tid":0},` +
+			`{"name":"b","ph":"X","ts":5,"dur":10,"pid":0,"tid":0}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+	// Tracks are independent: interleaved timestamps across tids are fine.
+	ok := `{"traceEvents":[` +
+		`{"name":"a","ph":"X","ts":5,"dur":1,"pid":0,"tid":0},` +
+		`{"name":"b","ph":"X","ts":1,"dur":1,"pid":0,"tid":1}]}`
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("cross-track ordering rejected: %v", err)
+	}
+}

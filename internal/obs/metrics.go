@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"resilience/internal/report"
+)
+
+// metricsHeader is the flat CSV schema of the per-rank counter dump.
+const metricsHeader = "rank,msgs_sent,bytes_sent,msgs_recv,bytes_recv,collectives,flops,restarts,compute_s,send_s,wait_s,collective_s"
+
+// WriteMetricsCSV dumps the per-rank counters as CSV, one row per rank.
+func WriteMetricsCSV(w io.Writer, ms []Metrics) error {
+	if _, err := fmt.Fprintln(w, metricsHeader); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%.9g,%.9g,%.9g,%.9g\n",
+			m.Rank, m.MsgsSent, m.BytesSent, m.MsgsRecv, m.BytesRecv,
+			m.Collectives, m.Flops, m.Restarts,
+			m.ComputeSec, m.SendSec, m.WaitSec, m.CollectiveSec)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsTable renders the per-rank counters as an aligned text table for
+// the report layer.
+func MetricsTable(ms []Metrics) *report.Table {
+	t := report.NewTable("Per-rank metrics",
+		"rank", "msgs_sent", "bytes_sent", "msgs_recv", "bytes_recv",
+		"coll", "flops", "restarts", "compute_s", "send_s", "wait_s", "coll_s")
+	for _, m := range ms {
+		t.AddF(m.Rank, m.MsgsSent, m.BytesSent, m.MsgsRecv, m.BytesRecv,
+			m.Collectives, m.Flops, m.Restarts,
+			m.ComputeSec, m.SendSec, m.WaitSec, m.CollectiveSec)
+	}
+	return t
+}

@@ -1,0 +1,236 @@
+// Package obs is the observability layer of the simulated cluster: per-rank
+// spans recorded against the virtual clocks, a registry of per-rank
+// communication/computation counters, and exporters (Chrome trace-event
+// JSON for Perfetto, flat CSV metrics).
+//
+// Observation is pure by construction. A recorder only *reads* the virtual
+// clocks the runtime already maintains — it never advances one, never
+// touches the power meter, and never participates in synchronization — so
+// every recorded experiment artifact is byte-identical with observation on
+// or off. A disabled recorder (the nil default) costs a single pointer
+// comparison on the hot path and zero allocations; the repository's
+// 0 allocs/op benchmarks gate this.
+//
+// Concurrency model: each rank goroutine owns one Rank recording surface
+// (handed out by Recorder.Rank at run start), so the hot path takes no
+// locks. Aggregated reads (Spans, Metrics) must happen after the run
+// completes; cluster.Run's WaitGroup provides the happens-before edge.
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SpanKind classifies a span on a rank's virtual timeline.
+type SpanKind uint8
+
+// The span taxonomy, from runtime primitives (compute, send, recv, wait,
+// collective — recorded by internal/cluster) to solver phases
+// (spmv-interior/boundary, halo — internal/solver) and recovery phases
+// (reconstruct, checkpoint, rollback — internal/recovery).
+const (
+	// SpanCompute is modeled flop work at active power.
+	SpanCompute SpanKind = iota
+	// SpanSend is a blocking send's injection time.
+	SpanSend
+	// SpanRecv is the receiver-side wait until a message's arrival.
+	SpanRecv
+	// SpanWait is the arrival synchronization of a collective.
+	SpanWait
+	// SpanCollective is the tree cost of a collective operation.
+	SpanCollective
+	// SpanSpMVInterior is the ghost-free part of an overlapped SpMV.
+	SpanSpMVInterior
+	// SpanSpMVBoundary is the ghost-dependent part of an overlapped SpMV.
+	SpanSpMVBoundary
+	// SpanHalo is one collective halo exchange (fused path).
+	SpanHalo
+	// SpanReconstruct is a forward-recovery reconstruction (LI/LSI/F0/FI/RD).
+	SpanReconstruct
+	// SpanCheckpoint is a checkpoint write.
+	SpanCheckpoint
+	// SpanRollback is a checkpoint restore.
+	SpanRollback
+
+	numSpanKinds
+)
+
+var spanKindNames = [numSpanKinds]string{
+	"compute", "send", "recv", "wait", "collective",
+	"spmv-interior", "spmv-boundary", "halo",
+	"reconstruct", "checkpoint", "rollback",
+}
+
+func (k SpanKind) String() string {
+	if k >= numSpanKinds {
+		return fmt.Sprintf("SpanKind(%d)", int(k))
+	}
+	return spanKindNames[k]
+}
+
+// Span is one interval of classified activity on a rank's virtual
+// timeline. Start and Dur are virtual seconds.
+type Span struct {
+	Kind  SpanKind
+	Start float64
+	Dur   float64
+}
+
+// End returns the span's end time.
+func (s Span) End() float64 { return s.Start + s.Dur }
+
+// Metrics is the per-rank counter registry: who sent what, who waited how
+// long, and where the rank's virtual seconds went, broken down by the
+// runtime primitives.
+type Metrics struct {
+	Rank int
+
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+	// Collectives counts collective invocations (barriers, allreduces,
+	// broadcasts, gathers, scatters).
+	Collectives int64
+	// Flops counts modeled floating-point operations.
+	Flops int64
+	// Restarts counts Krylov recurrence rebuilds (recoveries, breakdowns,
+	// drifted-residual verifications).
+	Restarts int64
+
+	// Virtual-second attribution of the primitive activities.
+	ComputeSec    float64
+	SendSec       float64
+	WaitSec       float64 // blocked receives + collective arrival gaps
+	CollectiveSec float64
+}
+
+// Rank is one rank's recording surface. It is owned by the rank's
+// goroutine for the duration of a run and must not be shared while the
+// run is in flight.
+type Rank struct {
+	m     Metrics
+	spans []Span
+}
+
+// Span records one classified interval. Zero and negative durations are
+// dropped (an instantaneous activity has no timeline extent). Primitive
+// kinds also accumulate into the per-kind seconds counters; composite
+// kinds (halo, spmv-*, recovery phases) wrap primitives and are excluded
+// so the counters never double-count.
+func (r *Rank) Span(kind SpanKind, start, dur float64) {
+	if dur <= 0 {
+		return
+	}
+	r.spans = append(r.spans, Span{Kind: kind, Start: start, Dur: dur})
+	switch kind {
+	case SpanCompute:
+		r.m.ComputeSec += dur
+	case SpanSend:
+		r.m.SendSec += dur
+	case SpanRecv, SpanWait:
+		r.m.WaitSec += dur
+	case SpanCollective:
+		r.m.CollectiveSec += dur
+	}
+}
+
+// AddSend counts one outbound point-to-point message of the given size.
+func (r *Rank) AddSend(bytes int64) {
+	r.m.MsgsSent++
+	r.m.BytesSent += bytes
+}
+
+// AddRecv counts one inbound point-to-point message of the given size.
+func (r *Rank) AddRecv(bytes int64) {
+	r.m.MsgsRecv++
+	r.m.BytesRecv += bytes
+}
+
+// AddCollective counts one collective invocation.
+func (r *Rank) AddCollective() { r.m.Collectives++ }
+
+// AddFlops counts modeled floating-point work.
+func (r *Rank) AddFlops(flops int64) { r.m.Flops += flops }
+
+// IncRestarts counts one Krylov recurrence rebuild.
+func (r *Rank) IncRestarts() { r.m.Restarts++ }
+
+// Recorder collects the per-rank recording surfaces of one run. The zero
+// value is not usable; call NewRecorder. A Recorder observes exactly one
+// run; Reset it before reuse.
+type Recorder struct {
+	mu    sync.Mutex
+	ranks []*Rank
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Rank returns rank's recording surface, creating surfaces on demand.
+// Called once per rank at run start; the returned surface is then used
+// lock-free by that rank's goroutine.
+func (rec *Recorder) Rank(rank int) *Rank {
+	if rank < 0 {
+		panic(fmt.Sprintf("obs: invalid rank %d", rank))
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for len(rec.ranks) <= rank {
+		rec.ranks = append(rec.ranks, &Rank{m: Metrics{Rank: len(rec.ranks)}})
+	}
+	return rec.ranks[rank]
+}
+
+// Ranks returns the number of rank surfaces handed out.
+func (rec *Recorder) Ranks() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return len(rec.ranks)
+}
+
+// RankSpans returns a copy of one rank's spans in recording order. Spans
+// of a composite kind follow the primitives they wrap (they are recorded
+// at their end), so the sequence is end-time ordered, not start-time
+// ordered.
+func (rec *Recorder) RankSpans(rank int) []Span {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rank < 0 || rank >= len(rec.ranks) {
+		return nil
+	}
+	out := make([]Span, len(rec.ranks[rank].spans))
+	copy(out, rec.ranks[rank].spans)
+	return out
+}
+
+// SpanCount returns the total number of recorded spans across ranks.
+func (rec *Recorder) SpanCount() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	n := 0
+	for _, r := range rec.ranks {
+		n += len(r.spans)
+	}
+	return n
+}
+
+// Metrics returns a copy of every rank's counter registry, rank order.
+func (rec *Recorder) Metrics() []Metrics {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make([]Metrics, len(rec.ranks))
+	for i, r := range rec.ranks {
+		out[i] = r.m
+	}
+	return out
+}
+
+// Reset discards every recorded span and counter so the recorder can
+// observe another run.
+func (rec *Recorder) Reset() {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.ranks = rec.ranks[:0]
+}

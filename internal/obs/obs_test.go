@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanKindStrings(t *testing.T) {
+	want := map[SpanKind]string{
+		SpanCompute:      "compute",
+		SpanSend:         "send",
+		SpanRecv:         "recv",
+		SpanWait:         "wait",
+		SpanCollective:   "collective",
+		SpanSpMVInterior: "spmv-interior",
+		SpanSpMVBoundary: "spmv-boundary",
+		SpanHalo:         "halo",
+		SpanReconstruct:  "reconstruct",
+		SpanCheckpoint:   "checkpoint",
+		SpanRollback:     "rollback",
+	}
+	if len(want) != int(numSpanKinds) {
+		t.Fatalf("test covers %d kinds, package has %d", len(want), numSpanKinds)
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("kind %d: got %q, want %q", k, k.String(), s)
+		}
+	}
+	if s := SpanKind(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown kind renders %q", s)
+	}
+}
+
+func TestRankSpanAccounting(t *testing.T) {
+	rec := NewRecorder()
+	r := rec.Rank(1)
+	r.Span(SpanCompute, 0, 2)
+	r.Span(SpanSend, 2, 1)
+	r.Span(SpanRecv, 3, 0.5)
+	r.Span(SpanWait, 3.5, 0.5)
+	r.Span(SpanCollective, 4, 1)
+	// Composite kinds must not double-count into the seconds counters.
+	r.Span(SpanHalo, 2, 2)
+	r.Span(SpanReconstruct, 0, 5)
+	// Zero/negative durations are dropped entirely.
+	r.Span(SpanCompute, 9, 0)
+	r.Span(SpanCompute, 9, -1)
+
+	ms := rec.Metrics()
+	if len(ms) != 2 {
+		t.Fatalf("got %d rank surfaces, want 2 (grow-on-demand)", len(ms))
+	}
+	m := ms[1]
+	if m.Rank != 1 {
+		t.Errorf("rank id %d", m.Rank)
+	}
+	if m.ComputeSec != 2 || m.SendSec != 1 || m.WaitSec != 1 || m.CollectiveSec != 1 {
+		t.Errorf("seconds attribution: %+v", m)
+	}
+	if got := len(rec.RankSpans(1)); got != 7 {
+		t.Errorf("recorded %d spans, want 7", got)
+	}
+	if rec.SpanCount() != 7 {
+		t.Errorf("SpanCount %d", rec.SpanCount())
+	}
+	if s := rec.RankSpans(0); len(s) != 0 {
+		t.Errorf("rank 0 has %d spans", len(s))
+	}
+	if s := rec.RankSpans(5); s != nil {
+		t.Errorf("out-of-range rank returned %v", s)
+	}
+}
+
+func TestRankCounters(t *testing.T) {
+	rec := NewRecorder()
+	r := rec.Rank(0)
+	r.AddSend(64)
+	r.AddSend(8)
+	r.AddRecv(128)
+	r.AddCollective()
+	r.AddCollective()
+	r.AddFlops(1000)
+	r.IncRestarts()
+	m := rec.Metrics()[0]
+	if m.MsgsSent != 2 || m.BytesSent != 72 {
+		t.Errorf("send counters: %+v", m)
+	}
+	if m.MsgsRecv != 1 || m.BytesRecv != 128 {
+		t.Errorf("recv counters: %+v", m)
+	}
+	if m.Collectives != 2 || m.Flops != 1000 || m.Restarts != 1 {
+		t.Errorf("counters: %+v", m)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	rec := NewRecorder()
+	rec.Rank(3).Span(SpanCompute, 0, 1)
+	rec.Reset()
+	if rec.Ranks() != 0 || rec.SpanCount() != 0 {
+		t.Errorf("reset left %d ranks, %d spans", rec.Ranks(), rec.SpanCount())
+	}
+}
+
+func TestWriteMetricsCSV(t *testing.T) {
+	rec := NewRecorder()
+	r := rec.Rank(0)
+	r.AddSend(16)
+	r.Span(SpanCompute, 0, 0.25)
+	var sb strings.Builder
+	if err := WriteMetricsCSV(&sb, rec.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	want := "rank,msgs_sent,bytes_sent,msgs_recv,bytes_recv,collectives,flops,restarts,compute_s,send_s,wait_s,collective_s\n" +
+		"0,1,16,0,0,0,0,0,0.25,0,0,0\n"
+	if sb.String() != want {
+		t.Errorf("metrics CSV:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestMetricsTable(t *testing.T) {
+	rec := NewRecorder()
+	rec.Rank(1).AddRecv(24)
+	tbl := MetricsTable(rec.Metrics())
+	out := tbl.String()
+	if !strings.Contains(out, "msgs_recv") || !strings.Contains(out, "24") {
+		t.Errorf("table:\n%s", out)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows %d", len(tbl.Rows))
+	}
+}

@@ -32,13 +32,21 @@ func (s Segment) End() float64 { return s.Start + s.Dur }
 func (s Segment) Energy() float64 { return s.Watts * s.Dur }
 
 // Meter accumulates energy segments over virtual time.
+//
+// Energy is accumulated per core, not into shared totals: each core is
+// written by a single rank goroutine in its program order, so the per-core
+// sums are scheduling-independent, and the read-side reductions walk cores
+// in sorted order. Totals are therefore bitwise run-to-run deterministic
+// even though ranks record concurrently (a shared += would pick up the
+// goroutine interleaving through float non-associativity).
 type Meter struct {
-	mu       sync.Mutex
-	segs     []Segment
-	byPhase  map[string]float64
-	total    float64
-	lastEnd  map[int]float64 // per-core last recorded end, for gap checks
-	keepSegs bool
+	mu        sync.Mutex
+	segs      []Segment
+	byCore    map[int]float64            // per-core total energy
+	phaseCore map[int]map[string]float64 // per-core, per-phase energy
+	lastEnd   map[int]float64            // per-core last recorded end, for gap checks
+	lastSeg   map[int]int                // per-core index of the last retained segment
+	keepSegs  bool
 }
 
 // NewMeter returns a meter. If keepSegments is false, only aggregate
@@ -46,9 +54,11 @@ type Meter struct {
 // reconstructed.
 func NewMeter(keepSegments bool) *Meter {
 	return &Meter{
-		byPhase:  make(map[string]float64),
-		lastEnd:  make(map[int]float64),
-		keepSegs: keepSegments,
+		byCore:    make(map[int]float64),
+		phaseCore: make(map[int]map[string]float64),
+		lastEnd:   make(map[int]float64),
+		lastSeg:   make(map[int]int),
+		keepSegs:  keepSegments,
 	}
 }
 
@@ -67,41 +77,69 @@ func (m *Meter) Record(core int, phase string, start, dur, watts float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e := watts * dur
-	m.total += e
-	m.byPhase[phase] += e
+	m.byCore[core] += e
+	pm := m.phaseCore[core]
+	if pm == nil {
+		pm = make(map[string]float64)
+		m.phaseCore[core] = pm
+	}
+	pm[phase] += e
 	if end := start + dur; end > m.lastEnd[core] {
 		m.lastEnd[core] = end
 	}
 	if !m.keepSegs {
 		return
 	}
-	// Coalesce with the previous segment of the same core when contiguous
-	// and identical in phase and power.
-	if n := len(m.segs); n > 0 {
-		last := &m.segs[n-1]
-		if last.Core == core && last.Phase == phase && last.Watts == watts &&
+	// Coalesce with the core's own previous segment when contiguous and
+	// identical in phase and power. Tracking the last segment per core
+	// (rather than globally) keeps each core's retained segment list a
+	// pure function of its program order: whether another core's record
+	// interleaved between two of ours cannot change what is merged.
+	if idx, ok := m.lastSeg[core]; ok {
+		last := &m.segs[idx]
+		if last.Phase == phase && last.Watts == watts &&
 			math.Abs(last.End()-start) < 1e-12 {
 			last.Dur += dur
 			return
 		}
 	}
 	m.segs = append(m.segs, Segment{Core: core, Phase: phase, Start: start, Dur: dur, Watts: watts})
+	m.lastSeg[core] = len(m.segs) - 1
+}
+
+// sortedCores returns the recorded core ids in ascending order.
+// Callers must hold m.mu.
+func (m *Meter) sortedCores() []int {
+	cores := make([]int, 0, len(m.byCore))
+	for c := range m.byCore {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	return cores
 }
 
 // TotalEnergy returns the total recorded energy in joules.
 func (m *Meter) TotalEnergy() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.total
+	var total float64
+	for _, c := range m.sortedCores() {
+		total += m.byCore[c]
+	}
+	return total
 }
 
-// EnergyByPhase returns a copy of the per-phase energy breakdown.
+// EnergyByPhase returns the per-phase energy breakdown, reduced over cores
+// in sorted order (each phase appears once per core, so the inner map
+// iteration order cannot affect the sums).
 func (m *Meter) EnergyByPhase() map[string]float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[string]float64, len(m.byPhase))
-	for k, v := range m.byPhase {
-		out[k] = v
+	out := make(map[string]float64)
+	for _, c := range m.sortedCores() {
+		for ph, e := range m.phaseCore[c] {
+			out[ph] += e
+		}
 	}
 	return out
 }
@@ -137,6 +175,56 @@ func (m *Meter) AveragePower() float64 {
 		return 0
 	}
 	return m.TotalEnergy() / span
+}
+
+// Gap is an interval of one core's timeline with no recorded segment —
+// virtual time the clock advanced through without energy accounting.
+type Gap struct {
+	Core  int
+	Start float64
+	End   float64
+}
+
+// Gaps returns every unaccounted interval longer than tol on any core,
+// from each core's first recorded segment to its last (cores start at
+// different times by construction, so leading idle is not a gap). A
+// non-empty result indicates a clock-accounting bug: every clock advance
+// is supposed to pass through Record. Requires segment retention; it
+// panics otherwise, since an empty answer from a segment-less meter would
+// falsely report full coverage.
+func (m *Meter) Gaps(tol float64) []Gap {
+	m.mu.Lock()
+	keep := m.keepSegs
+	segs := make([]Segment, len(m.segs))
+	copy(segs, m.segs)
+	m.mu.Unlock()
+	if !keep {
+		panic("power: Gaps requires a meter with segment retention")
+	}
+	byCore := make(map[int][]Segment)
+	var cores []int
+	for _, s := range segs {
+		if _, ok := byCore[s.Core]; !ok {
+			cores = append(cores, s.Core)
+		}
+		byCore[s.Core] = append(byCore[s.Core], s)
+	}
+	sort.Ints(cores)
+	var gaps []Gap
+	for _, core := range cores {
+		cs := byCore[core]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Start < cs[j].Start })
+		end := cs[0].End()
+		for _, s := range cs[1:] {
+			if s.Start > end+tol {
+				gaps = append(gaps, Gap{Core: core, Start: end, End: s.Start})
+			}
+			if e := s.End(); e > end {
+				end = e
+			}
+		}
+	}
+	return gaps
 }
 
 // Sample is one point of a power timeline.

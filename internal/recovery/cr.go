@@ -3,6 +3,7 @@ package recovery
 import (
 	"resilience/internal/checkpoint"
 	"resilience/internal/fault"
+	"resilience/internal/obs"
 	"resilience/internal/vec"
 )
 
@@ -48,6 +49,7 @@ func (s *CR) AfterIteration(ctx *Ctx, completedIters int) error {
 		return nil
 	}
 	c := ctx.C
+	defer ctx.span(obs.SpanCheckpoint)()
 	prev := c.SetPhase(PhaseCheckpoint)
 	dur := s.Store.WriteTime(s.ckptBytes(ctx), ctx.Ranks())
 	if s.Store.CPUBusy() {
@@ -73,6 +75,7 @@ func (s *CR) AfterIteration(ctx *Ctx, completedIters int) error {
 // every class.
 func (s *CR) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	c := ctx.C
+	defer ctx.span(obs.SpanRollback)()
 	prev := c.SetPhase(PhaseRollback)
 	dur := s.Store.ReadTime(s.ckptBytes(ctx), ctx.Ranks())
 	if s.Store.CPUBusy() {

@@ -5,6 +5,7 @@ import (
 
 	"resilience/internal/dense"
 	"resilience/internal/fault"
+	"resilience/internal/obs"
 	"resilience/internal/solver"
 	"resilience/internal/sparse"
 	"resilience/internal/vec"
@@ -68,6 +69,9 @@ func (s *LI) Name() string {
 // Recover implements Scheme.
 func (s *LI) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	c := ctx.C
+	// The span covers every rank: on non-failed ranks it shows the parked
+	// wait (Figure 7a's f_min plateau), on the failed rank the construction.
+	defer ctx.span(obs.SpanReconstruct)()
 	prev := c.SetPhase(PhaseReconstruct)
 	defer c.SetPhase(prev)
 

@@ -5,6 +5,7 @@ import (
 
 	"resilience/internal/dense"
 	"resilience/internal/fault"
+	"resilience/internal/obs"
 	"resilience/internal/solver"
 	"resilience/internal/vec"
 )
@@ -56,6 +57,7 @@ func (s *LSI) Name() string {
 // Recover implements Scheme.
 func (s *LSI) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	c := ctx.C
+	defer ctx.span(obs.SpanReconstruct)()
 	prev := c.SetPhase(PhaseReconstruct)
 	defer c.SetPhase(prev)
 

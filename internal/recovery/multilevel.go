@@ -5,6 +5,7 @@ import (
 
 	"resilience/internal/checkpoint"
 	"resilience/internal/fault"
+	"resilience/internal/obs"
 	"resilience/internal/vec"
 )
 
@@ -50,6 +51,7 @@ func (s *CR2L) AfterIteration(ctx *Ctx, completedIters int) error {
 		return nil
 	}
 	c := ctx.C
+	defer ctx.span(obs.SpanCheckpoint)()
 	prev := c.SetPhase(PhaseCheckpoint)
 	defer c.SetPhase(prev)
 	bytes := s.ckptBytes(ctx)
@@ -82,6 +84,7 @@ func (s *CR2L) AfterIteration(ctx *Ctx, completedIters int) error {
 // Recover implements Scheme.
 func (s *CR2L) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	c := ctx.C
+	defer ctx.span(obs.SpanRollback)()
 	prev := c.SetPhase(PhaseRollback)
 	defer c.SetPhase(prev)
 	bytes := s.ckptBytes(ctx)

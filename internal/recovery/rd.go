@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"resilience/internal/fault"
+	"resilience/internal/obs"
 )
 
 // RD is modular redundancy (the paper's DMR, generalized to N-way): a
@@ -75,6 +76,7 @@ func (s *RD) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	if c.Rank() != f.Rank {
 		return false, nil
 	}
+	defer ctx.span(obs.SpanReconstruct)()
 	prev := c.SetPhase(PhaseReconstruct)
 	// One block of each CG vector crosses the network from the replica.
 	bytes := int64(8 * 4 * len(ctx.St.X))

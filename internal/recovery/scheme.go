@@ -21,6 +21,7 @@ package recovery
 import (
 	"resilience/internal/cluster"
 	"resilience/internal/fault"
+	"resilience/internal/obs"
 	"resilience/internal/platform"
 	"resilience/internal/solver"
 	"resilience/internal/vec"
@@ -44,6 +45,18 @@ type Ctx struct {
 
 // Ranks returns the number of ranks in the run.
 func (ctx *Ctx) Ranks() int { return ctx.C.Size() }
+
+// span brackets a recovery phase for the observability layer: it returns
+// a func to defer, which records kind from the current clock to the clock
+// at call time. A no-op when no recorder is attached.
+func (ctx *Ctx) span(kind obs.SpanKind) func() {
+	o := ctx.C.Observer()
+	if o == nil {
+		return func() {}
+	}
+	start := ctx.C.Clock()
+	return func() { o.Span(kind, start, ctx.C.Clock()-start) }
+}
 
 // Scheme is one recovery mechanism, instantiated per rank.
 type Scheme interface {
@@ -81,6 +94,7 @@ func (F0) Name() string { return "F0" }
 // Recover implements Scheme.
 func (F0) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	if ctx.C.Rank() == f.Rank {
+		defer ctx.span(obs.SpanReconstruct)()
 		prev := ctx.C.SetPhase(PhaseReconstruct)
 		vec.Zero(ctx.St.X)
 		ctx.C.Compute(int64(len(ctx.St.X))) // a memset-scale pass
@@ -102,6 +116,7 @@ func (FI) Name() string { return "FI" }
 // Recover implements Scheme.
 func (s *FI) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	if ctx.C.Rank() == f.Rank {
+		defer ctx.span(obs.SpanReconstruct)()
 		prev := ctx.C.SetPhase(PhaseReconstruct)
 		if s.X0 == nil {
 			vec.Zero(ctx.St.X)

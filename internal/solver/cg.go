@@ -161,6 +161,9 @@ func CG(c *cluster.Comm, a *sparse.CSR, b []float64, part *sparse.Partition, opt
 	// restart recomputes R, P, Rho from X: one distributed SpMV plus an
 	// allreduce — the cost every recovery scheme pays to resume CG.
 	restart := func() {
+		if o := c.Observer(); o != nil {
+			o.IncRestarts()
+		}
 		op.MulVecDist(c, st.R, st.X)
 		vec.Sub(st.R, st.BLocal, st.R)
 		c.Compute(int64(n))

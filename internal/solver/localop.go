@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"resilience/internal/cluster"
+	"resilience/internal/obs"
 	"resilience/internal/sparse"
 )
 
@@ -258,6 +259,10 @@ func (op *LocalOp) GatherHalo(c *cluster.Comm, x []float64) []float64 {
 	if len(x) != op.N {
 		panic(fmt.Sprintf("solver: GatherHalo len(x)=%d, want %d", len(x), op.N))
 	}
+	if o := c.Observer(); o != nil {
+		start := c.Clock()
+		defer func() { o.Span(obs.SpanHalo, start, c.Clock()-start) }()
+	}
 	copy(op.xbuf[:op.N], x)
 	for _, o := range op.neighbors {
 		idx := op.sendIdx[o]
@@ -323,8 +328,12 @@ func (op *LocalOp) mulVecDistOverlap(c *cluster.Comm, y, x []float64) {
 
 	// Interior rows read only owned entries of xbuf, so they are safe to
 	// multiply before the ghost region is filled.
+	intStart := c.Clock()
 	op.interior.mulVecInto(y, op.xbuf)
 	c.Compute(op.interior.flops())
+	if o := c.Observer(); o != nil {
+		o.Span(obs.SpanSpMVInterior, intStart, c.Clock()-intStart)
+	}
 
 	ghost := op.xbuf[op.N:]
 	for i, o := range op.neighbors {
@@ -334,8 +343,12 @@ func (op *LocalOp) mulVecDistOverlap(c *cluster.Comm, y, x []float64) {
 			ghost[slot] = vals[j]
 		}
 	}
+	bdyStart := c.Clock()
 	op.boundary.mulVecInto(y, op.xbuf)
 	c.Compute(op.boundary.flops())
+	if o := c.Observer(); o != nil {
+		o.Span(obs.SpanSpMVBoundary, bdyStart, c.Clock()-bdyStart)
+	}
 }
 
 // OffDiagApply computes y = b_local - sum_{j != rank} A_{rank,j} x_j given

@@ -39,8 +39,12 @@ func (k EventKind) String() string {
 
 // Event is one trace record.
 type Event struct {
-	Kind   EventKind
-	Iter   int
+	Kind EventKind
+	Iter int
+	// Rank is the rank the event concerns: the struck rank for fault and
+	// recovery events, 0 for the rank-0-owned iteration and convergence
+	// records.
+	Rank   int
 	Clock  float64 // virtual seconds
 	RelRes float64 // relative residual at the boundary (0 when unknown)
 	// Detail carries kind-specific information (fault description,
@@ -95,7 +99,7 @@ func (t *Trace) Filter(kind EventKind) []Event {
 
 // WriteCSV emits the full log as CSV with a header row.
 func (t *Trace) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "kind,iter,clock,relres,detail"); err != nil {
+	if _, err := fmt.Fprintln(w, "kind,iter,rank,clock,relres,detail"); err != nil {
 		return err
 	}
 	for _, e := range t.Events() {
@@ -103,8 +107,8 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		if strings.ContainsAny(detail, ",\"\n") {
 			detail = `"` + strings.ReplaceAll(detail, `"`, `""`) + `"`
 		}
-		if _, err := fmt.Fprintf(w, "%s,%d,%.9g,%.9g,%s\n",
-			e.Kind, e.Iter, e.Clock, e.RelRes, detail); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.9g,%.9g,%s\n",
+			e.Kind, e.Iter, e.Rank, e.Clock, e.RelRes, detail); err != nil {
 			return err
 		}
 	}

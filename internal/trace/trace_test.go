@@ -37,17 +37,20 @@ func TestResidualSeries(t *testing.T) {
 func TestWriteCSV(t *testing.T) {
 	tr := New()
 	tr.Add(Event{Kind: Iteration, Iter: 3, Clock: 0.25, RelRes: 1e-3})
-	tr.Add(Event{Kind: FaultEvent, Iter: 4, Detail: `has,comma and "quote"`})
+	tr.Add(Event{Kind: FaultEvent, Iter: 4, Rank: 2, Detail: `has,comma and "quote"`})
 	var sb strings.Builder
 	if err := tr.WriteCSV(&sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.HasPrefix(out, "kind,iter,clock,relres,detail\n") {
+	if !strings.HasPrefix(out, "kind,iter,rank,clock,relres,detail\n") {
 		t.Errorf("header missing:\n%s", out)
 	}
-	if !strings.Contains(out, "iter,3,0.25,0.001,") {
+	if !strings.Contains(out, "iter,3,0,0.25,0.001,") {
 		t.Errorf("iteration row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "fault,4,2,") {
+		t.Errorf("fault rank column missing:\n%s", out)
 	}
 	if !strings.Contains(out, `"has,comma and ""quote"""`) {
 		t.Errorf("detail quoting wrong:\n%s", out)

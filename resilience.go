@@ -32,6 +32,7 @@ import (
 	"resilience/internal/experiments"
 	"resilience/internal/fault"
 	"resilience/internal/matgen"
+	"resilience/internal/obs"
 	"resilience/internal/platform"
 	"resilience/internal/sparse"
 	"resilience/internal/trace"
@@ -55,6 +56,16 @@ type Trace = trace.Trace
 
 // NewTrace returns an empty trace to pass in SolveOptions.Trace.
 func NewTrace() *Trace { return trace.New() }
+
+// Recorder collects per-rank spans and counters during a solve (see
+// NewRecorder and SolveOptions.Observer). Export with
+// obs.WriteChromeTrace / obs.WriteMetricsCSV or read Metrics directly.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty observability recorder to pass in
+// SolveOptions.Observer. Recording never perturbs the solve: times,
+// energies and iterates are byte-identical with or without it.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // DefaultPlatform returns the paper's 8-node, 192-core cluster.
 func DefaultPlatform() *Platform { return platform.Default() }
@@ -132,7 +143,11 @@ type SolveOptions struct {
 	// Trace, when non-nil, receives structured per-iteration and fault/
 	// recovery events (CSV-exportable; see NewTrace).
 	Trace *Trace
-	Seed  int64
+	// Observer, when non-nil, records per-rank spans and counters (see
+	// NewRecorder). Pair with KeepPowerSegments to get power counter
+	// tracks in the Chrome trace export.
+	Observer *Recorder
+	Seed     int64
 }
 
 // Solve runs a resilient distributed CG solve of A x = b.
@@ -165,6 +180,7 @@ func Solve(a *Matrix, b []float64, opts SolveOptions) (*Report, error) {
 		Overlap:      opts.Overlap,
 		KeepSegments: opts.KeepPowerSegments,
 		Trace:        opts.Trace,
+		Obs:          opts.Observer,
 		Seed:         opts.Seed,
 	}
 
@@ -174,8 +190,12 @@ func Solve(a *Matrix, b []float64, opts SolveOptions) (*Report, error) {
 		seed := opts.Seed
 		if opts.Faults > 0 {
 			// The schedule is anchored on the fault-free iteration count.
+			// The baseline run is internal scaffolding: keep it out of the
+			// caller's trace and recorder.
 			ff := cfg
 			ff.Scheme = core.SchemeSpec{Kind: core.FF}
+			ff.Trace = nil
+			ff.Obs = nil
 			ffRep, err := core.Run(ff)
 			if err != nil {
 				return nil, fmt.Errorf("resilience: fault-free baseline: %w", err)
@@ -239,6 +259,11 @@ type ExperimentOptions struct {
 	// behind the interior SpMV; false defers to the RES_OVERLAP
 	// environment variable, else the fused seed behavior.
 	Overlap bool
+	// Observe attaches a (discarded) observability recorder to every cell
+	// solve; false defers to the RES_OBS environment variable. Output is
+	// byte-identical either way — this exists to exercise the purity
+	// guarantee under the full experiment matrix.
+	Observe bool
 }
 
 // RunExperimentOpts is RunExperiment with explicit engine options.
@@ -254,5 +279,6 @@ func RunExperimentOpts(id, scale string, opts ExperimentOptions) (*ExperimentRes
 	cfg := experiments.Default(sc)
 	cfg.Workers = opts.Workers
 	cfg.Overlap = opts.Overlap
+	cfg.Observe = opts.Observe
 	return r.Run(cfg)
 }

@@ -1,16 +1,24 @@
 #!/bin/sh
-# Repo health check: the tier-1 gate, a race-detector pass over the
-# packages with real concurrency (the simulated cluster, the solvers that
-# run inside it, and the parallel experiment engine), and a benchdiff
-# comparison against the most recent BENCH_*.json perf baseline.
+# Repo health check: formatting and the tier-1 gate, a race-detector pass
+# over the packages with real concurrency (the simulated cluster, the
+# solvers that run inside it, and the parallel experiment engine), the
+# observation-disabled zero-allocation gate, and a benchdiff comparison
+# against the most recent BENCH_*.json perf baseline.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+test -z "$(gofmt -l .)"
 go build ./...
 go test ./...
 go vet ./...
 go test -race ./internal/cluster/... ./internal/solver/... ./internal/experiments/...
+
+# The hot path must stay allocation-free with no recorder attached
+# (attaching one may allocate for span storage; that variant is measured
+# by BenchmarkCGIterationObserved but not gated).
+go test -run '^$' -bench '^BenchmarkCGIteration$' -benchmem -benchtime 2000x . |
+    grep '^BenchmarkCGIteration[^O]' | grep -q ' 0 allocs/op'
 
 # Perf trajectory: fail on ns/op, allocs/op or bytes/op regressions
 # against the latest recorded baseline. Kernel-only (fast); the timing
