@@ -213,6 +213,7 @@ func printReport(w io.Writer, rep *resilience.Report) {
 	fmt.Fprintf(w, "time:         %.6g s (virtual)\n", rep.Time)
 	fmt.Fprintf(w, "energy:       %.6g J\n", rep.Energy)
 	fmt.Fprintf(w, "avg power:    %.6g W (redundancy x%d)\n", rep.AvgPower, rep.Redundancy)
+	fmt.Fprintf(w, "seed:         %d\n", rep.Seed)
 	if rep.Checkpoints > 0 {
 		fmt.Fprintf(w, "checkpoints:  %d\n", rep.Checkpoints)
 	}

@@ -1,0 +1,133 @@
+// Command chaos runs deterministic fault-campaigns against the resilient
+// solver and checks the runtime invariant battery on every scenario.
+//
+// A campaign is fully determined by its flags: the same -n/-seed/-schemes
+// produce byte-identical output at any -workers. When a scenario violates
+// an invariant, the reporter shrinks it and prints the minimal failing
+// scenario as a flag string replayable with -replay.
+//
+//	chaos -n 200 -seed 1                  # the acceptance campaign
+//	chaos -replay '-grid 8 -ranks 4 -scheme LI -tol 1e-10 -seed 7 -faults SNF@5:r2'
+//	chaos -n 50 -seed 1 -break convergence  # prove the reporter end-to-end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"resilience/internal/chaos"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 200, "number of scenarios")
+		seed      = flag.Int64("seed", 1, "campaign seed (scenario i derives seed+i*stride)")
+		workers   = flag.Int("workers", 4, "concurrent scenario runners")
+		maxFaults = flag.Int("max-faults", 3, "faults per scenario drawn from 0..k")
+		schemes   = flag.String("schemes", strings.Join(chaos.DefaultSchemes(), ","), "comma-separated scheme pool")
+		tol       = flag.Float64("tol", 1e-10, "solver tolerance")
+		recheck   = flag.Bool("recheck", true, "rerun each scenario for the determinism and overlap-equivalence invariants")
+		breakInv  = flag.String("break", "", "deliberately fail this invariant on faulted scenarios (checker self-test); one of: "+strings.Join(chaos.InvariantNames(), ", "))
+		replay    = flag.String("replay", "", "run a single scenario from its replay flag string instead of a campaign")
+		verbose   = flag.Bool("v", false, "print every scenario line, not only failures")
+	)
+	flag.Parse()
+	if err := run(*n, *seed, *workers, *maxFaults, *schemes, *tol, *recheck, *breakInv, *replay, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, workers, maxFaults int, schemes string, tol float64, recheck bool, breakInv, replay string, verbose bool) error {
+	opts := chaos.Options{
+		N:         n,
+		Seed:      seed,
+		Workers:   workers,
+		MaxFaults: maxFaults,
+		Schemes:   strings.Split(schemes, ","),
+		Tol:       tol,
+		Recheck:   recheck,
+	}
+	if breakInv != "" {
+		if !validInvariant(breakInv) {
+			return fmt.Errorf("chaos: -break %q is not an invariant (known: %s)", breakInv, strings.Join(chaos.InvariantNames(), ", "))
+		}
+		opts.BreakInvariant = breakInv
+	}
+
+	if replay != "" {
+		return runReplay(replay, opts)
+	}
+
+	fmt.Printf("chaos campaign: n=%d seed=%d schemes=%s max-faults=%d tol=%g recheck=%t\n",
+		n, seed, schemes, maxFaults, tol, recheck)
+	results := chaos.RunCampaign(opts)
+	var ok, expected int
+	var failures []*chaos.Result
+	for _, r := range results {
+		switch {
+		case r.Failed():
+			failures = append(failures, r)
+		case r.Expected != "":
+			expected++
+		default:
+			ok++
+		}
+		if verbose || r.Failed() {
+			fmt.Println(r.Line())
+			if r.Failed() {
+				fmt.Printf("      replay: %s\n", r.Scenario.Args())
+			}
+		}
+	}
+	fmt.Printf("summary: %d scenarios, %d ok, %d expected-failure, %d violating\n",
+		len(results), ok, expected, len(failures))
+	if len(failures) == 0 {
+		return nil
+	}
+
+	// Shrink the first failure to its minimal reproduction. The oracle
+	// reruns the candidate through a fresh runner with the same options,
+	// so the minimum fails for the same reason the original did.
+	first := failures[0]
+	rn := chaos.NewRunner(opts)
+	min := chaos.Shrink(first.Scenario, func(c *chaos.Scenario) bool {
+		return rn.Run(first.Index, c).Failed()
+	})
+	minRes := rn.Run(first.Index, min)
+	fmt.Printf("minimal failing scenario (shrunk from #%04d):\n", first.Index)
+	fmt.Printf("  %s\n", minRes.Line())
+	fmt.Printf("  replay: go run ./cmd/chaos -replay '%s'\n", min.Args())
+	return fmt.Errorf("chaos: %d of %d scenarios violated invariants", len(failures), len(results))
+}
+
+// runReplay executes one scenario verbosely.
+func runReplay(args string, opts chaos.Options) error {
+	s, err := chaos.ParseArgs(args)
+	if err != nil {
+		return err
+	}
+	r := chaos.NewRunner(opts).Run(0, s)
+	fmt.Println(r.Line())
+	if rep := r.Report; rep != nil {
+		fmt.Printf("  scheme=%s iters=%d converged=%t relres=%.3g restarts=%d faults-fired=%d\n",
+			rep.Scheme, rep.Iters, rep.Converged, rep.RelRes, rep.Restarts, len(rep.Faults))
+		fmt.Printf("  time=%.6gs energy=%.6gJ avg-power=%.6gW checkpoints=%d\n",
+			rep.Time, rep.Energy, rep.AvgPower, rep.Checkpoints)
+	}
+	if r.Failed() {
+		return fmt.Errorf("chaos: scenario violated invariants")
+	}
+	return nil
+}
+
+func validInvariant(name string) bool {
+	for _, n := range chaos.InvariantNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -34,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment-engine worker count (0: RES_WORKERS env, else GOMAXPROCS; 1: sequential)")
 	overlap := flag.Bool("overlap", false, "overlap halo exchange with interior SpMV in every distributed solve (false: RES_OVERLAP env, else fused)")
 	observe := flag.Bool("observe", false, "attach a discarded observability recorder to every cell solve (purity exercise; output is byte-identical)")
+	seed := flag.Int64("seed", 0, "fault-injection seed for experiments and the traced solve (0: the default seed behind the checked-in tables)")
 	traceOut := flag.String("trace-out", "", "instead of experiments, run one traced solve and write its Chrome trace-event JSON timeline (load in Perfetto) to this file")
 	metricsFile := flag.String("metrics", "", "with the traced solve, write per-rank counters as CSV to this file ('-' for stdout)")
 	traceScheme := flag.String("trace-scheme", "LI-DVFS", "recovery scheme of the traced solve")
@@ -66,7 +67,7 @@ func main() {
 
 	if *traceOut != "" || *metricsFile != "" {
 		if err := tracedRun(*traceMatrix, *scale, *traceScheme, *traceRanks,
-			*traceFaults, *overlap, *traceOut, *metricsFile); err != nil {
+			*traceFaults, *overlap, *seed, *traceOut, *metricsFile); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -85,14 +86,14 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		res, err := resilience.RunExperimentOpts(strings.TrimSpace(id), *scale,
-			resilience.ExperimentOptions{Workers: *workers, Overlap: *overlap, Observe: *observe})
+			resilience.ExperimentOptions{Workers: *workers, Overlap: *overlap, Observe: *observe, Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			failed++
 			continue
 		}
 		fmt.Println(res.String())
-		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("(%s completed in %.1fs, seed %d)\n\n", id, time.Since(start).Seconds(), res.Seed)
 		if *csvDir != "" {
 			if err := writeCSVs(*csvDir, res); err != nil {
 				fmt.Fprintf(os.Stderr, "writing CSV for %s: %v\n", id, err)
@@ -111,7 +112,7 @@ func main() {
 // timeline and/or per-rank metrics — the zero-setup path from "which rank
 // waited where" to a Perfetto tab.
 func tracedRun(matrix, scale, scheme string, ranks, faults int, overlap bool,
-	traceOut, metricsFile string) error {
+	seed int64, traceOut, metricsFile string) error {
 
 	a, err := resilience.CatalogMatrix(matrix, scale)
 	if err != nil {
@@ -124,14 +125,15 @@ func tracedRun(matrix, scale, scheme string, ranks, faults int, overlap bool,
 		Ranks:             ranks,
 		Faults:            faults,
 		Overlap:           overlap,
+		Seed:              seed,
 		Observer:          rec,
 		KeepPowerSegments: true,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("traced solve: %s on %s (%v), %d ranks, %d faults: %d iters, %.6g s, %.6g J\n",
-		rep.Scheme, matrix, a, ranks, len(rep.Faults), rep.Iters, rep.Time, rep.Energy)
+	fmt.Printf("traced solve: %s on %s (%v), %d ranks, %d faults, seed %d: %d iters, %.6g s, %.6g J\n",
+		rep.Scheme, matrix, a, ranks, len(rep.Faults), rep.Seed, rep.Iters, rep.Time, rep.Energy)
 	if traceOut != "" {
 		if err := writeFile(traceOut, func(w io.Writer) error {
 			return obs.WriteChromeTrace(w, rec, rep.Meter)

@@ -1,0 +1,362 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"resilience/internal/core"
+	"resilience/internal/fault"
+	"resilience/internal/obs"
+	"resilience/internal/sparse"
+)
+
+// Options configures a campaign.
+type Options struct {
+	N         int      // number of scenarios
+	Seed      int64    // campaign seed; scenario i derives its own seed from it
+	Workers   int      // concurrent scenario runners (<=0: 1)
+	MaxFaults int      // faults per scenario drawn from 0..MaxFaults (<=0: 3)
+	Schemes   []string // scheme pool (nil: DefaultSchemes)
+	Tol       float64  // solver tolerance (<=0: 1e-10)
+
+	// Recheck enables the determinism invariant (rerun each scenario and
+	// demand bitwise-identical results) and the overlap-equivalence
+	// invariant (rerun with the halo-exchange mode flipped and demand
+	// bitwise-identical numerics). Both roughly triple the campaign cost.
+	Recheck bool
+
+	// BreakInvariant deliberately fails the named invariant on every
+	// scenario that injects at least one fault. It exists to prove the
+	// reporting pipeline end-to-end: a campaign must detect the failure
+	// and shrink it to a minimal replayable scenario.
+	BreakInvariant string
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Workers <= 0 {
+		out.Workers = 1
+	}
+	if out.MaxFaults <= 0 {
+		out.MaxFaults = 3
+	}
+	if len(out.Schemes) == 0 {
+		out.Schemes = DefaultSchemes()
+	}
+	if out.Tol <= 0 {
+		out.Tol = 1e-10
+	}
+	return out
+}
+
+// seedStride decorrelates per-scenario seeds (the 32-bit golden ratio,
+// the usual splitmix increment).
+const seedStride = 0x9E3779B9
+
+// NewScenario draws one randomized scenario from rng. The generator
+// deliberately concentrates probability mass on the hard cases from the
+// multi-node-failure literature: simultaneous multi-rank faults,
+// back-to-back faults (same or adjacent iterations, which the solver
+// boundary recovers within one window — a fault during recovery), and
+// faults just after a checkpoint (inside the rollback window).
+func NewScenario(rng *rand.Rand, opts Options) *Scenario {
+	o := opts.withDefaults()
+	s := &Scenario{
+		Grid:      6 + rng.Intn(5), // n = 36 .. 100
+		Ranks:     1 + rng.Intn(6),
+		Scheme:    o.Schemes[rng.Intn(len(o.Schemes))],
+		Tol:       o.Tol,
+		CkptEvery: 2 + rng.Intn(9),
+		Overlap:   rng.Intn(2) == 0,
+		Jacobi:    rng.Intn(4) == 0,
+		Seed:      1 + rng.Int63n(1<<30),
+	}
+	if rng.Intn(2) == 0 {
+		s.DetectDelay = 1 + rng.Intn(3)
+	}
+	nf := rng.Intn(o.MaxFaults + 1)
+	for i := 0; i < nf; i++ {
+		f := FaultSpec{
+			Class: fault.Classes()[rng.Intn(len(fault.Classes()))],
+			Rank:  rng.Intn(s.Ranks),
+			Iter:  1 + rng.Intn(3*s.Grid),
+		}
+		if i > 0 && rng.Intn(2) == 0 {
+			// Cluster onto the previous fault: same iteration
+			// (simultaneous; recovered back-to-back in one boundary) or the
+			// next one (strikes the just-recovered state).
+			f.Iter = s.Faults[i-1].Iter + rng.Intn(2)
+		} else if isCR(s.Scheme) && rng.Intn(3) == 0 {
+			// Land just after a checkpoint write: the rollback window.
+			f.Iter = s.CkptEvery + 1 + rng.Intn(2)
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	// The schedule injector fires faults in iteration order; keep the
+	// scenario's list in that order so Args round-trips the actual firing
+	// sequence.
+	sort.SliceStable(s.Faults, func(i, j int) bool { return s.Faults[i].Iter < s.Faults[j].Iter })
+	return s
+}
+
+func isCR(scheme string) bool {
+	return strings.HasPrefix(strings.ToUpper(scheme), "CR")
+}
+
+// Result is the outcome of one scenario.
+type Result struct {
+	Index      int
+	Scenario   *Scenario
+	Report     *core.RunReport
+	Expected   string // non-empty: classified expected failure
+	Violations []Violation
+	Err        error // run-level error (itself an invariant violation)
+}
+
+// Failed reports whether the scenario violated any invariant (run errors
+// count; classified expected failures do not).
+func (r *Result) Failed() bool { return len(r.Violations) > 0 || r.Err != nil }
+
+// Line renders the result as one deterministic report line.
+func (r *Result) Line() string {
+	var b strings.Builder
+	status := "ok  "
+	switch {
+	case r.Failed():
+		status = "FAIL"
+	case r.Expected != "":
+		status = "exp "
+	}
+	fmt.Fprintf(&b, "#%04d %s %-8s g=%d p=%d faults=%d", r.Index, status,
+		r.Scenario.Scheme, r.Scenario.Grid, r.Scenario.Ranks, len(r.Scenario.Faults))
+	if r.Report != nil {
+		fmt.Fprintf(&b, " iters=%d relres=%.3g", r.Report.Iters, r.Report.RelRes)
+	}
+	if r.Expected != "" {
+		fmt.Fprintf(&b, " expected-failure: %s", r.Expected)
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, " run-error: %v", r.Err)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, " [%s]", v)
+	}
+	return b.String()
+}
+
+// Runner executes scenarios and checks invariants, caching the per-system
+// fault-free baselines a campaign shares. Safe for concurrent use.
+type Runner struct {
+	opts Options
+
+	mu      sync.Mutex
+	ffCache map[ffKey]*core.RunReport
+	sysMu   sync.Mutex
+	sys     map[int]cachedSystem
+}
+
+type ffKey struct {
+	grid, ranks int
+	tol         float64
+	jacobi      bool
+}
+
+type cachedSystem struct {
+	a *sparse.CSR
+	b []float64
+}
+
+// NewRunner builds a scenario runner with the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		opts:    opts.withDefaults(),
+		ffCache: make(map[ffKey]*core.RunReport),
+		sys:     make(map[int]cachedSystem),
+	}
+}
+
+// system returns the (cached) linear system for a grid size.
+func (rn *Runner) system(grid int) (*sparse.CSR, []float64) {
+	rn.sysMu.Lock()
+	defer rn.sysMu.Unlock()
+	if cs, ok := rn.sys[grid]; ok {
+		return cs.a, cs.b
+	}
+	s := Scenario{Grid: grid}
+	a, b := s.System()
+	rn.sys[grid] = cachedSystem{a: a, b: b}
+	return a, b
+}
+
+// faultFree returns the (cached) converged baseline for a scenario's
+// system shape. The baseline's numerics do not depend on the scheme,
+// overlap mode, or seed — only on the system, partitioning, tolerance and
+// preconditioning.
+func (rn *Runner) faultFree(s *Scenario) (*core.RunReport, error) {
+	key := ffKey{grid: s.Grid, ranks: s.Ranks, tol: s.Tol, jacobi: s.Jacobi}
+	rn.mu.Lock()
+	if rep, ok := rn.ffCache[key]; ok {
+		rn.mu.Unlock()
+		return rep, nil
+	}
+	rn.mu.Unlock()
+	ff := &Scenario{
+		Grid: s.Grid, Ranks: s.Ranks, Scheme: "LI", Tol: s.Tol,
+		Jacobi: s.Jacobi, Seed: 1,
+	}
+	a, b := rn.system(s.Grid)
+	cfg, err := ff.RunConfig(a, b, false)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scheme = core.SchemeSpec{Kind: core.FF}
+	rep, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rn.mu.Lock()
+	rn.ffCache[key] = rep
+	rn.mu.Unlock()
+	return rep, nil
+}
+
+// Run executes one scenario and its invariant battery.
+func (rn *Runner) Run(index int, s *Scenario) *Result {
+	res := &Result{Index: index, Scenario: s}
+	if err := s.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+	ff, err := rn.faultFree(s)
+	if err != nil {
+		res.Err = fmt.Errorf("fault-free baseline: %w", err)
+		return res
+	}
+	a, b := rn.system(s.Grid)
+	cfg, err := s.RunConfig(a, b, true)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	rec := obs.NewRecorder()
+	cfg.Obs = rec
+	rep, err := core.Run(cfg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Report = rep
+	res.Expected, _ = ExpectedFailure(s, rep)
+	res.Violations = CheckInvariants(s, rep, ff, rec)
+	if rn.opts.Recheck {
+		res.Violations = append(res.Violations, rn.recheck(s, a, b, rep)...)
+	}
+	if rn.opts.BreakInvariant != "" && len(s.Faults) > 0 {
+		res.Violations = append(res.Violations, Violation{
+			Invariant: rn.opts.BreakInvariant,
+			Detail:    "deliberately broken via -break (checker self-test)",
+		})
+	}
+	return res
+}
+
+// recheck runs the two rerun-based invariants: bitwise run-to-run
+// determinism, and bitwise numerical equivalence of the overlapped and
+// fused halo-exchange paths.
+func (rn *Runner) recheck(s *Scenario, a *sparse.CSR, b []float64, rep *core.RunReport) []Violation {
+	var vs []Violation
+	cfg, err := s.RunConfig(a, b, false)
+	if err != nil {
+		return []Violation{{InvDeterminism, err.Error()}}
+	}
+	again, err := core.Run(cfg)
+	if err != nil {
+		return []Violation{{InvDeterminism, fmt.Sprintf("rerun failed: %v", err)}}
+	}
+	switch {
+	case again.Iters != rep.Iters:
+		vs = append(vs, Violation{InvDeterminism,
+			fmt.Sprintf("rerun took %d iters, first run %d", again.Iters, rep.Iters)})
+	case again.RelRes != rep.RelRes:
+		vs = append(vs, Violation{InvDeterminism,
+			fmt.Sprintf("rerun relres %.17g != %.17g", again.RelRes, rep.RelRes)})
+	case again.Time != rep.Time:
+		vs = append(vs, Violation{InvDeterminism,
+			fmt.Sprintf("rerun time %.17g != %.17g", again.Time, rep.Time)})
+	case again.Energy != rep.Energy:
+		vs = append(vs, Violation{InvDeterminism,
+			fmt.Sprintf("rerun energy %.17g != %.17g", again.Energy, rep.Energy)})
+	case !bitEqual(again.History, rep.History):
+		vs = append(vs, Violation{InvDeterminism, "rerun residual history diverged"})
+	case !bitEqual(again.Solution, rep.Solution):
+		vs = append(vs, Violation{InvDeterminism, "rerun solution diverged"})
+	}
+	flipped := *s
+	flipped.Overlap = !s.Overlap
+	fcfg, err := flipped.RunConfig(a, b, false)
+	if err != nil {
+		return append(vs, Violation{InvOverlapEquiv, err.Error()})
+	}
+	frep, err := core.Run(fcfg)
+	if err != nil {
+		return append(vs, Violation{InvOverlapEquiv, fmt.Sprintf("flipped-overlap run failed: %v", err)})
+	}
+	switch {
+	case frep.Iters != rep.Iters:
+		vs = append(vs, Violation{InvOverlapEquiv,
+			fmt.Sprintf("overlap=%t took %d iters, overlap=%t took %d", flipped.Overlap, frep.Iters, s.Overlap, rep.Iters)})
+	case !bitEqual(frep.History, rep.History):
+		vs = append(vs, Violation{InvOverlapEquiv, "residual history differs between overlapped and fused paths"})
+	case !bitEqual(frep.Solution, rep.Solution):
+		vs = append(vs, Violation{InvOverlapEquiv, "solution differs between overlapped and fused paths"})
+	}
+	return vs
+}
+
+// bitEqual compares float slices bitwise (NaN == NaN, +0 != -0), the
+// right notion for determinism checks.
+func bitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunCampaign generates and runs opts.N scenarios. Results come back in
+// scenario order regardless of worker count, so campaign output is
+// byte-identical for any parallelism. Scenario i's generator is seeded
+// with opts.Seed + i*seedStride, so a campaign is a set of independently
+// replayable runs, not one serial random stream — any subrange can be
+// re-examined alone.
+func RunCampaign(opts Options) []*Result {
+	o := opts.withDefaults()
+	rn := NewRunner(o)
+	results := make([]*Result, o.N)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rng := rand.New(rand.NewSource(o.Seed + int64(i)*seedStride))
+				results[i] = rn.Run(i, NewScenario(rng, o))
+			}
+		}()
+	}
+	for i := 0; i < o.N; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resilience/internal/core"
+)
+
+// TestScenarioArgsRoundTrip: Args/ParseArgs are exact inverses over
+// randomly generated scenarios. Each sub-test is named by its derived
+// seed so a failure replays with -run 'TestScenarioArgsRoundTrip/seed=N'.
+func TestScenarioArgsRoundTrip(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		seed := int64(1) + int64(i)*seedStride
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s := NewScenario(rand.New(rand.NewSource(seed)), Options{})
+			args := s.Args()
+			back, err := ParseArgs(args)
+			if err != nil {
+				t.Fatalf("ParseArgs(%q): %v", args, err)
+			}
+			if back.Args() != args {
+				t.Fatalf("round trip changed the scenario:\n in: %s\nout: %s", args, back.Args())
+			}
+		})
+	}
+}
+
+func TestParseArgsRejectsInvalid(t *testing.T) {
+	cases := []string{
+		"-grid 1",                       // grid too small
+		"-grid 8 -ranks 0",              // no ranks
+		"-grid 3 -ranks 10",             // ranks > n
+		"-scheme NOPE",                  // unknown scheme
+		"-tol 0",                        // tolerance out of range
+		"-tol 2",                        // tolerance out of range
+		"-faults XXX@1:r0",              // unknown class
+		"-faults SNF@0:r0",              // iteration < 1
+		"-ranks 2 -faults SNF@1:r5",     // fault rank out of range
+		"-faults SNF@1",                 // missing rank
+		"-wat 3",                        // unknown flag
+		"-grid",                         // missing value
+		"-ckpt -1",                      // negative interval
+		"-detect 1000",                  // delay out of range
+		"-faults SNF@999999999999:r0",   // iteration past any budget
+		"-grid 8 -ranks 4 -seed banana", // non-numeric
+	}
+	for _, c := range cases {
+		if _, err := ParseArgs(c); err == nil {
+			t.Errorf("ParseArgs(%q) accepted an invalid scenario", c)
+		}
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	s, err := ParseArgs("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Grid != 8 || s.Ranks != 4 || s.Scheme != "LI" || s.Tol != 1e-10 {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+}
+
+// TestCampaignInvariantsHold is the package's core property test: a
+// seeded mixed-scheme campaign with up to 3 overlapping faults per
+// scenario passes the full invariant battery, including the rerun-based
+// determinism and overlap-equivalence checks. Each scenario is a
+// sub-test named by its index, so `-run 'TestCampaignInvariantsHold/scn=17'`
+// replays one exactly.
+func TestCampaignInvariantsHold(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	opts := Options{N: n, Seed: 1, Workers: 4, Recheck: true}
+	results := RunCampaign(opts)
+	for _, r := range results {
+		r := r
+		t.Run(fmt.Sprintf("scn=%d", r.Index), func(t *testing.T) {
+			if r.Failed() {
+				t.Fatalf("scenario failed:\n%s\nreplay: %s", r.Line(), r.Scenario.Args())
+			}
+		})
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers: the campaign report is
+// byte-identical regardless of worker count.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		var b strings.Builder
+		for _, r := range RunCampaign(Options{N: 10, Seed: 42, Workers: workers}) {
+			b.WriteString(r.Line())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("campaign output depends on worker count:\n--- workers=1\n%s--- workers=8\n%s", seq, par)
+	}
+}
+
+// TestExpectedFailureClassification: a run that exhausts its budget with
+// faults present is an expected failure; without faults it is not.
+func TestExpectedFailureClassification(t *testing.T) {
+	s := &Scenario{Grid: 6, Ranks: 2, Scheme: "F0", Tol: 1e-10, Seed: 1,
+		Faults: []FaultSpec{{Rank: 0, Iter: 3}}}
+	rep := fakeReport(false, s.MaxIters())
+	if _, ok := ExpectedFailure(s, rep); !ok {
+		t.Error("budget exhaustion with faults should classify as expected failure")
+	}
+	rep = fakeReport(false, s.MaxIters()-1)
+	if _, ok := ExpectedFailure(s, rep); ok {
+		t.Error("stopping before the budget must not classify as expected")
+	}
+	noFaults := &Scenario{Grid: 6, Ranks: 2, Scheme: "F0", Tol: 1e-10, Seed: 1}
+	rep = fakeReport(false, noFaults.MaxIters())
+	if _, ok := ExpectedFailure(noFaults, rep); ok {
+		t.Error("a fault-free run may never fail expectedly")
+	}
+	rep = fakeReport(true, 10)
+	if _, ok := ExpectedFailure(s, rep); ok {
+		t.Error("a converged run is not a failure at all")
+	}
+}
+
+// TestShrinkMinimizes: the shrinker reduces a large scenario to the
+// 1-minimal core under an oracle that fails whenever any fault is
+// present.
+func TestShrinkMinimizes(t *testing.T) {
+	s := &Scenario{
+		Grid: 10, Ranks: 6, Scheme: "LSI-DVFS", Tol: 1e-10, CkptEvery: 7,
+		DetectDelay: 2, Overlap: true, Jacobi: true, Seed: 999,
+		Faults: []FaultSpec{
+			{Class: 4, Rank: 3, Iter: 9},
+			{Class: 2, Rank: 5, Iter: 9},
+			{Class: 3, Rank: 1, Iter: 14},
+		},
+	}
+	min := Shrink(s, func(c *Scenario) bool { return len(c.Faults) > 0 })
+	if len(min.Faults) != 1 {
+		t.Fatalf("want 1 fault after shrinking, got %d (%s)", len(min.Faults), min.Args())
+	}
+	if min.Grid != 4 || min.Ranks != 1 || min.Overlap || min.Jacobi || min.DetectDelay != 0 {
+		t.Fatalf("shrinker left reducible structure: %s", min.Args())
+	}
+	if f := min.Faults[0]; f.Iter != 1 || f.Rank != 0 {
+		t.Fatalf("shrinker left reducible fault placement: %s", min.Args())
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk scenario invalid: %v", err)
+	}
+}
+
+// TestShrinkKeepsFailing: whatever the oracle, the shrunk scenario still
+// fails it (the minimum is a witness, not a guess).
+func TestShrinkKeepsFailing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		s := NewScenario(rng, Options{MaxFaults: 3})
+		if len(s.Faults) < 2 {
+			continue
+		}
+		// Oracle: fails while a hard fault on an even rank remains.
+		oracle := func(c *Scenario) bool {
+			for _, f := range c.Faults {
+				if f.Class.IsHard() && f.Rank%2 == 0 {
+					return true
+				}
+			}
+			return false
+		}
+		if !oracle(s) {
+			continue
+		}
+		min := Shrink(s, oracle)
+		if !oracle(min) {
+			t.Fatalf("shrink lost the failure: %s -> %s", s.Args(), min.Args())
+		}
+	}
+}
+
+// TestBreakInvariantReportsAndShrinks: the checker's self-test hook must
+// surface as a violation and shrink to a minimal single-fault scenario —
+// the end-to-end path the CLI uses to prove the reporter works.
+func TestBreakInvariantReportsAndShrinks(t *testing.T) {
+	opts := Options{N: 12, Seed: 3, Workers: 2, BreakInvariant: InvConvergence}
+	results := RunCampaign(opts)
+	var failing *Result
+	for _, r := range results {
+		if r.Failed() {
+			failing = r
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("campaign with -break produced no failure")
+	}
+	found := false
+	for _, v := range failing.Violations {
+		if v.Invariant == InvConvergence && strings.Contains(v.Detail, "deliberately") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing deliberate violation in %s", failing.Line())
+	}
+	rn := NewRunner(opts)
+	min := Shrink(failing.Scenario, func(c *Scenario) bool {
+		return rn.Run(0, c).Failed()
+	})
+	if len(min.Faults) != 1 {
+		t.Fatalf("broken-invariant scenario should shrink to one fault, got %s", min.Args())
+	}
+}
+
+// fakeReport builds the minimal report the classifier reads.
+func fakeReport(converged bool, iters int) *core.RunReport {
+	return &core.RunReport{Converged: converged, Iters: iters}
+}

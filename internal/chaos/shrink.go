@@ -1,0 +1,110 @@
+package chaos
+
+import "sort"
+
+// Shrink greedily minimizes a failing scenario: it tries a fixed
+// candidate sequence of simplifications (drop faults, shrink the grid,
+// drop ranks, clear booleans, pull fault placements toward iteration 1 /
+// rank 0) and keeps any candidate for which fails still returns true,
+// looping until a full pass makes no progress. The result is 1-minimal
+// with respect to the candidate moves — no single move keeps it failing —
+// which in practice collapses a 3-fault 6-rank scenario to the one fault
+// and the smallest system that still trip the invariant.
+//
+// fails must be deterministic (true = the scenario still fails). The
+// total number of candidate evaluations is bounded by maxShrinkRuns, so a
+// pathological oracle cannot stall the reporter.
+func Shrink(s *Scenario, fails func(*Scenario) bool) *Scenario {
+	cur := cloneScenario(s)
+	budget := maxShrinkRuns
+	for improved := true; improved && budget > 0; {
+		improved = false
+		for _, cand := range shrinkCandidates(cur) {
+			if budget--; budget <= 0 {
+				break
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			if fails(cand) {
+				cur = cand
+				improved = true
+				break // restart the pass from the simplified scenario
+			}
+		}
+	}
+	return cur
+}
+
+const maxShrinkRuns = 200
+
+func cloneScenario(s *Scenario) *Scenario {
+	out := *s
+	out.Faults = append([]FaultSpec(nil), s.Faults...)
+	return &out
+}
+
+// shrinkCandidates returns the one-step simplifications of s, most
+// aggressive first (dropping whole faults beats nudging their fields).
+func shrinkCandidates(s *Scenario) []*Scenario {
+	var cands []*Scenario
+	mod := func(f func(*Scenario)) {
+		c := cloneScenario(s)
+		f(c)
+		cands = append(cands, c)
+	}
+	// Drop each fault.
+	for i := range s.Faults {
+		i := i
+		mod(func(c *Scenario) {
+			c.Faults = append(c.Faults[:i], c.Faults[i+1:]...)
+		})
+	}
+	// Shrink the system and the cluster. Fault coordinates are clamped
+	// back into range so the candidate stays valid.
+	if s.Grid > 4 {
+		mod(func(c *Scenario) { c.Grid = c.Grid - 1; clampFaults(c) })
+		mod(func(c *Scenario) { c.Grid = 4; clampFaults(c) })
+	}
+	if s.Ranks > 1 {
+		mod(func(c *Scenario) { c.Ranks = c.Ranks - 1; clampFaults(c) })
+		mod(func(c *Scenario) { c.Ranks = 1; clampFaults(c) })
+	}
+	// Clear the optional machinery.
+	if s.Overlap {
+		mod(func(c *Scenario) { c.Overlap = false })
+	}
+	if s.Jacobi {
+		mod(func(c *Scenario) { c.Jacobi = false })
+	}
+	if s.DetectDelay > 0 {
+		mod(func(c *Scenario) { c.DetectDelay = 0 })
+	}
+	// Pull fault placements toward the origin.
+	for i, f := range s.Faults {
+		i, f := i, f
+		if f.Iter > 1 {
+			mod(func(c *Scenario) { c.Faults[i].Iter = 1; sortFaults(c) })
+			mod(func(c *Scenario) { c.Faults[i].Iter = f.Iter / 2; sortFaults(c) })
+		}
+		if f.Rank > 0 {
+			mod(func(c *Scenario) { c.Faults[i].Rank = 0 })
+		}
+	}
+	if s.Seed != 1 {
+		mod(func(c *Scenario) { c.Seed = 1 })
+	}
+	return cands
+}
+
+func clampFaults(c *Scenario) {
+	for i := range c.Faults {
+		if c.Faults[i].Rank >= c.Ranks {
+			c.Faults[i].Rank = c.Ranks - 1
+		}
+	}
+}
+
+func sortFaults(c *Scenario) {
+	sort.SliceStable(c.Faults, func(i, j int) bool { return c.Faults[i].Iter < c.Faults[j].Iter })
+}

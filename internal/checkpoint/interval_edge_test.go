@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntervalExtremes drives Young's and Daly's formulas to the edges of
+// their domains: MTBF approaching zero (faults effectively continuous) and
+// MTBF approaching infinity (effectively fault-free), plus the Daly branch
+// switch at tC >= 2*MTBF. Every output must stay finite, positive and
+// ordered the way the derivations promise.
+func TestIntervalExtremes(t *testing.T) {
+	const tC = 1.0
+	cases := []struct {
+		name string
+		mtbf float64
+	}{
+		{"mtbf-1e-300", 1e-300}, // tiniest normal-ish MTBF: interval → 0
+		{"mtbf-1e-12", 1e-12},
+		{"mtbf-1", 1},
+		{"mtbf-1e12", 1e12},
+		{"mtbf-1e300", 1e300}, // effectively infinite MTBF: interval → huge
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			young := YoungInterval(tC, tc.mtbf)
+			daly := DalyInterval(tC, tc.mtbf)
+			for _, v := range []struct {
+				name string
+				got  float64
+			}{{"Young", young}, {"Daly", daly}} {
+				if math.IsNaN(v.got) || math.IsInf(v.got, 0) {
+					t.Fatalf("%sInterval(%g, %g) = %g, want finite", v.name, tC, tc.mtbf, v.got)
+				}
+				if v.got <= 0 {
+					t.Fatalf("%sInterval(%g, %g) = %g, want > 0", v.name, tC, tc.mtbf, v.got)
+				}
+			}
+			if want := math.Sqrt(2 * tC * tc.mtbf); young != want {
+				t.Errorf("YoungInterval(%g, %g) = %g, want sqrt(2*tC*M) = %g", tC, tc.mtbf, young, want)
+			}
+			// When checkpointing costs as much as the time between faults,
+			// Daly degenerates to "checkpoint once per MTBF".
+			if tC >= 2*tc.mtbf && daly != tc.mtbf {
+				t.Errorf("DalyInterval(%g, %g) = %g, want the MTBF itself in the degenerate branch", tC, tc.mtbf, daly)
+			}
+			// In the regular branch Daly's correction shortens the interval
+			// relative to Young's first-order estimate (it subtracts tC; at
+			// extreme MTBF the subtraction underflows and the two coincide).
+			if tC < 2*tc.mtbf && daly > young {
+				t.Errorf("DalyInterval(%g, %g) = %g, want <= YoungInterval %g", tC, tc.mtbf, daly, young)
+			}
+		})
+	}
+}
+
+// TestIntervalMonotoneInMTBF: rarer faults must never shorten the optimal
+// interval, across thirty orders of magnitude.
+func TestIntervalMonotoneInMTBF(t *testing.T) {
+	const tC = 0.5
+	prevYoung, prevDaly := 0.0, 0.0
+	for exp := -15; exp <= 15; exp++ {
+		mtbf := math.Pow(10, float64(exp))
+		young := YoungInterval(tC, mtbf)
+		daly := DalyInterval(tC, mtbf)
+		if young < prevYoung {
+			t.Fatalf("YoungInterval not monotone: %g at MTBF 1e%d < %g at 1e%d", young, exp, prevYoung, exp-1)
+		}
+		if daly < prevDaly {
+			t.Fatalf("DalyInterval not monotone: %g at MTBF 1e%d < %g at 1e%d", daly, exp, prevDaly, exp-1)
+		}
+		prevYoung, prevDaly = young, daly
+	}
+}
+
+// TestIntervalPanicsOnNonPositiveInputs: the formulas are undefined at or
+// below zero and must fail loudly rather than return NaN into a policy.
+func TestIntervalPanicsOnNonPositiveInputs(t *testing.T) {
+	cases := []struct {
+		name     string
+		tC, mtbf float64
+	}{
+		{"zero-tC", 0, 100},
+		{"negative-tC", -1, 100},
+		{"zero-mtbf", 1, 0},
+		{"negative-mtbf", 1, -5},
+		{"both-zero", 0, 0},
+	}
+	for _, tc := range cases {
+		for _, fn := range []struct {
+			name string
+			call func(float64, float64) float64
+		}{{"Young", YoungInterval}, {"Daly", DalyInterval}} {
+			t.Run(fn.name+"/"+tc.name, func(t *testing.T) {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%sInterval(%g, %g) did not panic", fn.name, tc.tC, tc.mtbf)
+					}
+				}()
+				fn.call(tc.tC, tc.mtbf)
+			})
+		}
+	}
+}
+
+// TestIntervalItersExtremes: the iteration conversion clamps to at least
+// one checkpointed iteration even when the interval rounds to zero, and
+// stays finite for huge intervals.
+func TestIntervalItersExtremes(t *testing.T) {
+	cases := []struct {
+		name              string
+		intervalSec, iter float64
+		want              int
+	}{
+		{"interval-shorter-than-iter", 1e-9, 1.0, 1},
+		{"interval-zero", 0, 1.0, 1},
+		{"exact-multiple", 10, 2.0, 5},
+		{"rounds-up", 4.6, 1.0, 5},
+		{"rounds-down", 4.4, 1.0, 4},
+		{"huge-interval", 1e15, 1.0, 1_000_000_000_000_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IntervalIters(tc.intervalSec, tc.iter); got != tc.want {
+				t.Errorf("IntervalIters(%g, %g) = %d, want %d", tc.intervalSec, tc.iter, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestYoungPolicyAtExtremeMTBF: policies derived from extreme failure
+// rates still produce usable (>= 1 iteration) intervals, and Due never
+// fires at iteration zero.
+func TestYoungPolicyAtExtremeMTBF(t *testing.T) {
+	const tC, iterSec = 0.01, 0.001
+	for _, mtbf := range []float64{1e-9, 1e-3, 1, 1e9} {
+		p := YoungPolicy(tC, mtbf, iterSec)
+		if p.EveryIters < 1 {
+			t.Fatalf("YoungPolicy(tC=%g, mtbf=%g): EveryIters = %d, want >= 1", tC, mtbf, p.EveryIters)
+		}
+		if p.Due(0) {
+			t.Fatalf("YoungPolicy(mtbf=%g).Due(0) fired before any iteration completed", mtbf)
+		}
+		if !p.Due(p.EveryIters) {
+			t.Fatalf("YoungPolicy(mtbf=%g).Due(%d) must fire at its own interval", mtbf, p.EveryIters)
+		}
+		d := DalyPolicy(tC, mtbf, iterSec)
+		if d.EveryIters < 1 {
+			t.Fatalf("DalyPolicy(tC=%g, mtbf=%g): EveryIters = %d, want >= 1", tC, mtbf, d.EveryIters)
+		}
+	}
+}

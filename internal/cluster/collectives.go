@@ -22,6 +22,11 @@ type collectiveState struct {
 	results map[int64]*collResult
 	dead    bool
 
+	// arrived marks the ranks that have contributed to the in-flight
+	// generation; it feeds the deadlock check (a rank that exited without
+	// arriving can never arrive, so the collective can never complete).
+	arrived []bool
+
 	// Scalar fast path: the CG dot products reduce one or two float64s
 	// per collective, so they bypass the boxed `any` machinery entirely.
 	// scontrib holds up to two values per rank; sres double-buffers the
@@ -52,10 +57,36 @@ func newCollectiveState(p int, rt *Runtime) *collectiveState {
 		contrib:  make([]any, p),
 		results:  make(map[int64]*collResult),
 		scontrib: make([]float64, 2*p),
+		arrived:  make([]bool, p),
 	}
 	cs.sres[1].gen = -1 // slot 1 is first written at generation 1
 	cs.cond = sync.NewCond(&cs.mu)
 	return cs
+}
+
+// checkStuck reports (and aborts on) a deadlocked collective: a rank that
+// has not contributed to the in-flight generation but whose function has
+// already exited can never arrive, so the waiters would block forever.
+// Called with cs.mu held; it temporarily releases the lock to abort the
+// runtime (abort re-acquires it) and reports true so the caller re-checks
+// cs.dead instead of going to sleep past its own wake-up.
+func (cs *collectiveState) checkStuck(rank int) bool {
+	cs.rt.exitMu.Lock()
+	var missing []int
+	for r, ex := range cs.rt.exited {
+		if ex && !cs.arrived[r] {
+			missing = append(missing, r)
+		}
+	}
+	cs.rt.exitMu.Unlock()
+	if len(missing) == 0 {
+		return false
+	}
+	err := fmt.Errorf("cluster: deadlock: rank %d blocked in a collective that rank(s) %v exited without joining (mismatched collective participation)", rank, missing)
+	cs.mu.Unlock()
+	cs.rt.abort(err)
+	cs.mu.Lock()
+	return true
 }
 
 func (cs *collectiveState) abort() {
@@ -82,6 +113,7 @@ func (cs *collectiveState) enter(rank int, clock float64, contribution any,
 	myGen := cs.gen
 	cs.clocks[rank] = clock
 	cs.contrib[rank] = contribution
+	cs.arrived[rank] = true
 	cs.count++
 	if cs.count == cs.p {
 		var t float64
@@ -93,12 +125,16 @@ func (cs *collectiveState) enter(rank int, clock float64, contribution any,
 		cs.results[myGen] = &collResult{value: combine(cs.contrib), tmax: t, remaining: cs.p}
 		for i := range cs.contrib {
 			cs.contrib[i] = nil
+			cs.arrived[i] = false
 		}
 		cs.count = 0
 		cs.gen++
 		cs.cond.Broadcast()
 	} else {
 		for cs.gen == myGen && !cs.dead {
+			if cs.checkStuck(rank) {
+				continue // our own abort set cs.dead; re-evaluate, don't sleep
+			}
 			cs.cond.Wait()
 		}
 		if cs.dead {
@@ -127,6 +163,7 @@ func (cs *collectiveState) enterScalar(rank int, clock, v0, v1 float64) (r0, r1,
 	cs.clocks[rank] = clock
 	cs.scontrib[2*rank] = v0
 	cs.scontrib[2*rank+1] = v1
+	cs.arrived[rank] = true
 	cs.count++
 	if cs.count == cs.p {
 		var t float64
@@ -142,11 +179,17 @@ func (cs *collectiveState) enterScalar(rank int, clock, v0, v1 float64) (r0, r1,
 		}
 		slot := &cs.sres[myGen&1]
 		slot.gen, slot.v0, slot.v1, slot.tmax = myGen, s0, s1, t
+		for i := range cs.arrived {
+			cs.arrived[i] = false
+		}
 		cs.count = 0
 		cs.gen++
 		cs.cond.Broadcast()
 	} else {
 		for cs.gen == myGen && !cs.dead {
+			if cs.checkStuck(rank) {
+				continue // our own abort set cs.dead; re-evaluate, don't sleep
+			}
 			cs.cond.Wait()
 		}
 		if cs.dead {

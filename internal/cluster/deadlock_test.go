@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/platform"
+	"resilience/internal/power"
+)
+
+// runWithWatchdog runs fn on p ranks and fails the test if the run does
+// not complete within the deadline — the whole point of the deadlock
+// detector is that a broken program terminates with a diagnostic instead
+// of hanging the suite.
+func runWithWatchdog(t *testing.T, p int, fn func(c *Comm) error) error {
+	t.Helper()
+	type result struct{ err error }
+	done := make(chan result, 1)
+	go func() {
+		_, err := Run(p, platform.Default(), power.NewMeter(false), fn)
+		done <- result{err: err}
+	}()
+	select {
+	case r := <-done:
+		return r.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung: deadlock detector did not fire within 30s")
+		return nil
+	}
+}
+
+func TestDeadlockMismatchedCollective(t *testing.T) {
+	// Rank 0 skips the barrier and exits cleanly; the other ranks block in
+	// a collective that can never complete. The detector must abort the
+	// run with a participation diagnostic.
+	err := runWithWatchdog(t, 4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mismatched collective participation returned nil error")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock diagnostic, got: %v", err)
+	}
+}
+
+func TestDeadlockMismatchedScalarCollective(t *testing.T) {
+	// Same as above through the allocation-free scalar fast path.
+	err := runWithWatchdog(t, 4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return nil
+		}
+		c.AllreduceScalarSum(1.0)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mismatched scalar collective returned nil error")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock diagnostic, got: %v", err)
+	}
+}
+
+func TestDeadlockRecvFromExitedRank(t *testing.T) {
+	// Rank 1 waits for a message rank 0 never sends; rank 0 exits. The
+	// receive must fail with a diagnostic naming both ends.
+	err := runWithWatchdog(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Recv(0, 7)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("recv from exited rank returned nil error")
+	}
+	for _, want := range []string{"deadlock", "rank 1", "rank 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("diagnostic missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestDeadlockPostedRecvFromExitedRank(t *testing.T) {
+	// Same through the nonblocking IRecvInto/Wait path.
+	err := runWithWatchdog(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			buf := make([]float64, 3)
+			req := c.IRecvInto(0, 9, buf)
+			req.Wait()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("posted recv from exited rank returned nil error")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock diagnostic, got: %v", err)
+	}
+}
+
+func TestDeadlockRankFaultsMidCollective(t *testing.T) {
+	// A rank that dies (panics) while the others sit in a collective must
+	// abort the whole run promptly — this is the "rank faulting
+	// mid-collective" scenario a fault campaign produces when an injected
+	// process fault escapes its recovery scheme.
+	err := runWithWatchdog(t, 4, func(c *Comm) error {
+		if c.Rank() == 3 {
+			panic("injected process fault")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("rank fault mid-collective returned nil error")
+	}
+	if !strings.Contains(err.Error(), "injected process fault") {
+		t.Fatalf("abort should carry the faulting rank's panic, got: %v", err)
+	}
+}
+
+func TestDeadlockDetectorNoFalsePositive(t *testing.T) {
+	// A healthy bulk-synchronous program where ranks finish at staggered
+	// times must not trip the detector: ranks that exit after the final
+	// collective are not "missing" from any in-flight generation.
+	err := runWithWatchdog(t, 8, func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			c.AllreduceScalarSum(float64(c.Rank() + i))
+			if c.Rank()%2 == 0 {
+				c.Compute(int64(1000 * (c.Rank() + 1)))
+			}
+		}
+		// Staggered p2p drain, then exit at different virtual times.
+		if c.Rank() > 0 {
+			c.Send(0, 1, []float64{float64(c.Rank())})
+		} else {
+			for r := 1; r < 8; r++ {
+				c.Recv(r, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("healthy program tripped the deadlock detector: %v", err)
+	}
+}

@@ -206,6 +206,16 @@ func (c *Comm) dequeue(from, tag int) message {
 	k := mkey{from: from, to: c.rank, tag: tag}
 	mb.mu.Lock()
 	for len(mb.queues[k]) == 0 && !mb.dead {
+		// Deadlock check: an exited sender can never post the message we
+		// are waiting for. Abort with a diagnostic instead of hanging; the
+		// abort sets mb.dead, so continue (not Wait) past our own wake-up.
+		if c.rt.isExited(from) {
+			err := fmt.Errorf("cluster: deadlock: rank %d blocked receiving from rank %d (tag %d), which exited without sending", c.rank, from, tag)
+			mb.mu.Unlock()
+			c.rt.abort(err)
+			mb.mu.Lock()
+			continue
+		}
 		mb.cond.Wait()
 	}
 	if mb.dead {

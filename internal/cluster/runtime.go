@@ -44,6 +44,13 @@ type Runtime struct {
 
 	abortMu  sync.Mutex
 	abortErr error
+
+	// exited marks ranks whose function has returned. A rank blocked on a
+	// collective or a receive that an exited rank can no longer satisfy is
+	// deadlocked; the waiters detect this and abort with a diagnostic
+	// instead of hanging the run (and the test suite) forever.
+	exitMu sync.Mutex
+	exited []bool
 }
 
 // abortPanic is the sentinel carried by panics raised when the run has
@@ -55,10 +62,35 @@ func NewRuntime(p int, plat *platform.Platform, meter *power.Meter) *Runtime {
 	if p <= 0 {
 		panic(fmt.Sprintf("cluster: invalid rank count %d", p))
 	}
-	rt := &Runtime{p: p, plat: plat, meter: meter}
+	rt := &Runtime{p: p, plat: plat, meter: meter, exited: make([]bool, p)}
 	rt.coll = newCollectiveState(p, rt)
 	rt.mail = newMailbox(rt)
 	return rt
+}
+
+// markExited records that a rank's function returned and wakes every
+// blocked waiter so it can re-run its deadlock check. Each wait mutex is
+// taken (and released) before its broadcast so a waiter cannot evaluate
+// the check and go to sleep across the transition.
+func (rt *Runtime) markExited(rank int) {
+	rt.exitMu.Lock()
+	rt.exited[rank] = true
+	rt.exitMu.Unlock()
+	rt.coll.mu.Lock()
+	//lint:ignore SA2001 empty critical section orders the flag before the wake-up
+	rt.coll.mu.Unlock()
+	rt.coll.cond.Broadcast()
+	rt.mail.mu.Lock()
+	//lint:ignore SA2001 see above
+	rt.mail.mu.Unlock()
+	rt.mail.cond.Broadcast()
+}
+
+// isExited reports whether a rank's function has returned.
+func (rt *Runtime) isExited(rank int) bool {
+	rt.exitMu.Lock()
+	defer rt.exitMu.Unlock()
+	return rt.exited[rank]
 }
 
 // SetRecorder attaches an observability recorder before Run: every rank's
@@ -104,7 +136,11 @@ func (rt *Runtime) Run(fn func(c *Comm) error) (maxClock float64, err error) {
 			c := newComm(rank, rt)
 			defer func() {
 				clocks[rank] = c.clock
-				if rec := recover(); rec != nil {
+				rec := recover()
+				// Exit is marked before abort handling so waiters woken by
+				// either path re-evaluate against the final exit set.
+				rt.markExited(rank)
+				if rec != nil {
 					if ap, ok := rec.(abortPanic); ok {
 						errs[rank] = ap.err
 						return

@@ -160,6 +160,10 @@ type RunReport struct {
 	Checkpoints int
 	Redundancy  int
 
+	// Seed echoes RunConfig.Seed so any report names the seed that
+	// replays it.
+	Seed int64
+
 	// History is the relative residual at each iteration (rank 0).
 	History []float64
 	// Solution is the assembled final iterate.
@@ -445,6 +449,7 @@ func Run(cfg RunConfig) (*RunReport, error) {
 		History:       r0.History,
 		Faults:        monitors[0].faults,
 		Redundancy:    1,
+		Seed:          cfg.Seed,
 	}
 	if s := schemes[0]; s != nil {
 		report.Redundancy = s.Redundancy()

@@ -78,6 +78,11 @@ type Result struct {
 	Title  string
 	Tables []*report.Table
 	Notes  []string
+	// Seed is the fault-injection seed the experiment ran with (filled in
+	// by the public RunExperiment* entry points). It is not part of the
+	// String rendering, so checked-in tables stay byte-identical; CLIs
+	// print it alongside so every report names its replay seed.
+	Seed int64
 }
 
 // String renders the result for terminals and EXPERIMENTS.md.

@@ -79,6 +79,24 @@ func NewScheduleClasses(count, ffIters, ranks int, classes []Class, seed int64) 
 	return s
 }
 
+// NewScheduleAt schedules exactly the given faults at their explicit
+// iterations and ranks (the chaos campaigns' injector: fault placement is
+// part of the scenario, not derived from the fault-free iteration count).
+// Faults are ordered stably by iteration; several faults at the same
+// iteration fire on consecutive Check calls, which the solver boundary
+// drains back-to-back — the "fault during recovery" case.
+func NewScheduleAt(faults []Fault) *Schedule {
+	fs := make([]Fault, len(faults))
+	copy(fs, faults)
+	for _, f := range fs {
+		if f.Iter < 1 || f.Rank < 0 {
+			panic(fmt.Sprintf("fault: bad scheduled fault %v (need Iter >= 1, Rank >= 0)", f))
+		}
+	}
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Iter < fs[j].Iter })
+	return &Schedule{faults: fs}
+}
+
 // NewSingle schedules exactly one fault at the given iteration on the
 // given rank (the paper's Figure 6(a): one fault at iteration 200).
 func NewSingle(iter, rank int, class Class) *Schedule {

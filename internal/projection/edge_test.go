@@ -1,0 +1,112 @@
+package projection
+
+import (
+	"math"
+	"testing"
+)
+
+// TestProjectExtremeMTBF runs the weak-scaling projection at both ends of
+// the per-process reliability axis. 1e12 hours stands in for the MTBF→∞
+// limit (literal +Inf would zero the rate and turn CR's lost-work term
+// into 0·∞ = NaN, so the limit is probed with a huge finite value);
+// 1e-9 hours is the continuous-fault limit. Every projected row
+// must stay finite, and resilience overheads must shrink as machines get
+// more reliable.
+func TestProjectExtremeMTBF(t *testing.T) {
+	run := func(hours float64) []Row {
+		c := DefaultConfig()
+		c.PerProcMTBFHours = hours
+		c.Sizes = []int{128, 1 << 15}
+		rows, err := Project(c)
+		if err != nil {
+			t.Fatalf("Project at MTBF %g h: %v", hours, err)
+		}
+		for _, r := range rows {
+			for _, f := range []float64{r.MTBFHours, r.TResNorm, r.EResNorm, r.PNorm} {
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					t.Fatalf("Project at MTBF %g h: non-finite row %+v", hours, r)
+				}
+			}
+			if r.TResNorm < 0 || r.EResNorm < 0 {
+				t.Fatalf("Project at MTBF %g h: negative overhead %+v", hours, r)
+			}
+		}
+		return rows
+	}
+	reliable := run(1e12)
+	fragile := run(1e-9)
+	if len(reliable) != len(fragile) {
+		t.Fatalf("row counts differ: %d vs %d", len(reliable), len(fragile))
+	}
+	for i := range reliable {
+		// Same (size, scheme) cell; the reliable machine must never pay
+		// more time overhead than the fragile one.
+		if reliable[i].TResNorm > fragile[i].TResNorm {
+			t.Errorf("%s at N=%d: TResNorm %g on a 1e12 h machine exceeds %g on a 1e-9 h machine",
+				reliable[i].Scheme, reliable[i].N, reliable[i].TResNorm, fragile[i].TResNorm)
+		}
+	}
+	// In the near-fault-free limit the forward-recovery overhead (purely
+	// fault-proportional) must be vanishingly small.
+	for _, r := range reliable {
+		if r.Scheme == "FW" && r.TResNorm > 1e-6 {
+			t.Errorf("FW at N=%d with a 1e12 h MTBF keeps TResNorm %g, want ~0", r.N, r.TResNorm)
+		}
+	}
+}
+
+// TestProjectSingleProcess: N = 1 is the degenerate single-rank partition
+// of the weak-scaling sweep. The projection must handle it (one process,
+// whole-machine MTBF = per-process MTBF) without dividing by zero in the
+// per-core power split.
+func TestProjectSingleProcess(t *testing.T) {
+	c := DefaultConfig()
+	c.Sizes = []int{1}
+	rows, err := Project(c)
+	if err != nil {
+		t.Fatalf("Project with Sizes=[1]: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows for one size, want 4 schemes", len(rows))
+	}
+	wantMTBF := c.PerProcMTBFHours
+	for _, r := range rows {
+		if r.N != 1 {
+			t.Errorf("row %+v: N != 1", r)
+		}
+		if math.Abs(r.MTBFHours-wantMTBF)/wantMTBF > 1e-12 {
+			t.Errorf("%s: system MTBF %g h at N=1, want the per-process MTBF %g h", r.Scheme, r.MTBFHours, wantMTBF)
+		}
+		for _, f := range []float64{r.TResNorm, r.EResNorm, r.PNorm} {
+			if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+				t.Errorf("%s at N=1: bad normalized value %g", r.Scheme, f)
+			}
+		}
+	}
+}
+
+// TestProjectRejectsDegenerateConfigs: table of invalid configurations
+// that must error rather than emit NaN rows.
+func TestProjectRejectsDegenerateConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero-nnz-per-proc", func(c *Config) { c.NNZPerProc = 0 }},
+		{"negative-nnz-per-row", func(c *Config) { c.NNZPerRow = -1 }},
+		{"zero-iters", func(c *Config) { c.ItersBase = 0 }},
+		{"zero-mtbf", func(c *Config) { c.PerProcMTBFHours = 0 }},
+		{"negative-mtbf", func(c *Config) { c.PerProcMTBFHours = -6000 }},
+		{"zero-size", func(c *Config) { c.Sizes = []int{128, 0} }},
+		{"negative-size", func(c *Config) { c.Sizes = []int{-4} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tc.mutate(&c)
+			if _, err := Project(c); err == nil {
+				t.Errorf("Project accepted a %s config", tc.name)
+			}
+		})
+	}
+}

@@ -264,6 +264,10 @@ type ExperimentOptions struct {
 	// byte-identical either way — this exists to exercise the purity
 	// guarantee under the full experiment matrix.
 	Observe bool
+	// Seed overrides the experiment fault-injection seed; zero keeps the
+	// default (1, the seed behind every checked-in table). The effective
+	// seed is echoed in ExperimentResult.Seed so reports are replayable.
+	Seed int64
 }
 
 // RunExperimentOpts is RunExperiment with explicit engine options.
@@ -280,5 +284,12 @@ func RunExperimentOpts(id, scale string, opts ExperimentOptions) (*ExperimentRes
 	cfg.Workers = opts.Workers
 	cfg.Overlap = opts.Overlap
 	cfg.Observe = opts.Observe
-	return r.Run(cfg)
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	res, err := r.Run(cfg)
+	if res != nil {
+		res.Seed = cfg.Seed
+	}
+	return res, err
 }

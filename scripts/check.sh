@@ -1,9 +1,11 @@
 #!/bin/sh
 # Repo health check: formatting and the tier-1 gate, a race-detector pass
 # over the packages with real concurrency (the simulated cluster, the
-# solvers that run inside it, and the parallel experiment engine), the
-# observation-disabled zero-allocation gate, and a benchdiff comparison
-# against the most recent BENCH_*.json perf baseline.
+# solvers that run inside it, and the parallel experiment engine), a
+# seeded chaos fault campaign under the race detector, short fuzz smokes
+# over the seed corpora, the observation-disabled zero-allocation gate,
+# and a benchdiff comparison against the most recent BENCH_*.json perf
+# baseline.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -13,6 +15,18 @@ go build ./...
 go test ./...
 go vet ./...
 go test -race ./internal/cluster/... ./internal/solver/... ./internal/experiments/...
+
+# Chaos: a seeded fault campaign (all eight default schemes, 0-3 faults
+# per scenario, full invariant battery) under the race detector. Any
+# failure prints a replayable '-replay' flag string.
+go run -race ./cmd/chaos -n 50 -seed 1
+
+# Fuzz smokes: a few seconds per target on top of the checked-in seed
+# corpora (testdata/fuzz/). Coverage-guided mutation beyond the corpus;
+# any crasher is written back as a new seed.
+go test -run '^$' -fuzz '^FuzzCSRMulVec$' -fuzztime 5s ./internal/sparse
+go test -run '^$' -fuzz '^FuzzPartition$' -fuzztime 5s ./internal/sparse
+go test -run '^$' -fuzz '^FuzzScenarioArgs$' -fuzztime 5s ./internal/chaos
 
 # The hot path must stay allocation-free with no recorder attached
 # (attaching one may allocate for span storage; that variant is measured
