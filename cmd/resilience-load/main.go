@@ -1,0 +1,189 @@
+// Command resilience-load replays a seeded job stream against a running
+// resilienced and proves the service's determinism contract: every
+// response body must be byte-identical to running the same job offline
+// through service.RunJob — whatever the daemon's worker count, queue
+// order, or concurrency.
+//
+// An optional burst phase first floods the queue with sleep jobs to
+// exercise explicit backpressure: it demands at least one 429, honors
+// the Retry-After hint, and requires every burst job to complete on
+// retry. The scenario stream itself is drawn from the chaos generator,
+// so the same -seed/-n replays the same mixed workload anywhere.
+//
+//	resilience-load -addr http://127.0.0.1:8912 -n 24 -c 8 -seed 1 -burst 8
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/chaos"
+	"resilience/internal/service"
+)
+
+// seedStride matches the chaos campaign's per-scenario seed derivation
+// (the 32-bit golden ratio), so scenario i here equals scenario i of
+// `chaos -seed S`.
+const seedStride = 0x9E3779B9
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8912", "resilienced base URL")
+		n         = flag.Int("n", 24, "number of scenario jobs")
+		c         = flag.Int("c", 4, "concurrent submitters")
+		seed      = flag.Int64("seed", 1, "stream seed (scenario i derives seed+i*stride)")
+		maxFaults = flag.Int("max-faults", 3, "faults per scenario drawn from 0..k")
+		burst     = flag.Int("burst", 0, "sleep jobs to flood the queue with first (0: skip the backpressure phase)")
+		sleepMs   = flag.Int("sleep-ms", 300, "duration of each burst sleep job")
+		timeoutMs = flag.Int("timeout-ms", 0, "per-job timeout_ms sent with each request (0: server default)")
+	)
+	flag.Parse()
+	if err := run(*addr, *n, *c, *seed, *maxFaults, *burst, *sleepMs, *timeoutMs, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n, c int, seed int64, maxFaults, burst, sleepMs, timeoutMs int, out io.Writer) error {
+	if c < 1 {
+		c = 1
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	if burst > 0 {
+		rejected, err := runBurst(client, addr, burst, sleepMs, out)
+		if err != nil {
+			return err
+		}
+		if rejected == 0 {
+			return fmt.Errorf("resilience-load: burst of %d sleep jobs saw no 429 — queue never filled; shrink -workers/-queue on the daemon or raise -burst", burst)
+		}
+	}
+
+	start := time.Now()
+	var mismatches, failures atomic.Int64
+	var retries atomic.Int64
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rng := rand.New(rand.NewSource(seed + int64(i)*seedStride))
+				s := chaos.NewScenario(rng, chaos.Options{MaxFaults: maxFaults})
+				req := service.JobRequest{Scenario: s.Args(), TimeoutMs: timeoutMs}
+				oracleRes, _, err := service.RunJob(context.Background(), req)
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(out, "job %d: oracle failed: %v\n", i, err)
+					continue
+				}
+				want, err := json.Marshal(oracleRes)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				code, got, r, err := postRetry(client, addr, req)
+				retries.Add(int64(r))
+				if err != nil || code != http.StatusOK {
+					failures.Add(1)
+					fmt.Fprintf(out, "job %d: status %d err %v: %s\n", i, code, err, got)
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					mismatches.Add(1)
+					fmt.Fprintf(out, "job %d: response differs from oracle\n  scenario: %s\n  got:  %s\n  want: %s\n", i, s.Args(), got, want)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	fmt.Fprintf(out, "resilience-load: %d scenario jobs, %d submitters, %d retries after 429, %d mismatches, %d failures, %.2fs\n",
+		n, c, retries.Load(), mismatches.Load(), failures.Load(), time.Since(start).Seconds())
+	if m, f := mismatches.Load(), failures.Load(); m > 0 || f > 0 {
+		return fmt.Errorf("resilience-load: %d mismatches, %d failures", m, f)
+	}
+	return nil
+}
+
+// runBurst floods the queue with sleep jobs and reports how many were
+// rejected with 429 on first contact; each one must still complete OK
+// after honoring Retry-After.
+func runBurst(client *http.Client, addr string, burst, sleepMs int, out io.Writer) (int, error) {
+	var rejected, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := service.JobRequest{SleepMs: sleepMs}
+			code, body, retries, err := postRetry(client, addr, req)
+			if retries > 0 {
+				rejected.Add(1)
+			}
+			if err != nil || code != http.StatusOK {
+				failed.Add(1)
+				fmt.Fprintf(out, "burst job: status %d err %v: %s\n", code, err, body)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Fprintf(out, "resilience-load: burst %d sleep jobs, %d hit queue-full and retried to completion\n",
+		burst, rejected.Load())
+	if f := failed.Load(); f > 0 {
+		return int(rejected.Load()), fmt.Errorf("resilience-load: %d burst jobs failed", f)
+	}
+	return int(rejected.Load()), nil
+}
+
+// postRetry submits one job, retrying on 429 for as long as the server
+// advertises Retry-After (capped, bounded attempts). Returns the final
+// status, body, and how many 429s were absorbed.
+func postRetry(client *http.Client, addr string, req service.JobRequest) (int, []byte, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	retries := 0
+	for attempt := 0; attempt < 200; attempt++ {
+		resp, err := client.Post(addr+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, retries, err
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return resp.StatusCode, nil, retries, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp.StatusCode, got, retries, nil
+		}
+		retries++
+		wait := 50 * time.Millisecond
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			wait = time.Duration(s) * time.Second
+		}
+		if wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+		time.Sleep(wait)
+	}
+	return http.StatusTooManyRequests, nil, retries, fmt.Errorf("resilience-load: still 429 after %d retries", retries)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/service"
+)
+
+// TestRunAgainstRealService drives the full load flow — backpressure
+// burst plus seeded scenario stream with oracle comparison — against an
+// in-process service sized to guarantee queue-full rejections.
+func TestRunAgainstRealService(t *testing.T) {
+	srv := service.New(service.Config{Workers: 1, QueueCap: 1, RetryAfter: time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	var out bytes.Buffer
+	if err := run(ts.URL, 3, 2, 1, 3, 5, 300, 0, &out); err != nil {
+		t.Fatalf("load run failed: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "0 mismatches, 0 failures") {
+		t.Fatalf("summary missing clean verdict:\n%s", got)
+	}
+	if strings.Contains(got, " 0 hit queue-full") {
+		t.Fatalf("burst saw no backpressure:\n%s", got)
+	}
+}
+
+// TestRunDetectsMismatch points the oracle comparison at a server that
+// returns a plausible but wrong body; the run must fail.
+func TestRunDetectsMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"kind":"scenario","converged":true}`))
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run(ts.URL, 2, 1, 1, 2, 0, 0, 0, &out)
+	if err == nil || !strings.Contains(err.Error(), "mismatches") {
+		t.Fatalf("tampered responses passed the oracle: err=%v\n%s", err, out.String())
+	}
+}
+
+// TestRunBurstRequiresRejection: a queue that never fills must fail the
+// backpressure phase rather than silently skip it.
+func TestRunBurstRequiresRejection(t *testing.T) {
+	srv := service.New(service.Config{Workers: 8, QueueCap: 64})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	var out bytes.Buffer
+	err := run(ts.URL, 0, 1, 1, 2, 2, 10, 0, &out)
+	if err == nil || !strings.Contains(err.Error(), "no 429") {
+		t.Fatalf("unsaturated burst passed: err=%v", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command resilienced serves resilient solves over HTTP/JSON.
+//
+// Jobs (scenario replays, registered experiments, diagnostic sleeps)
+// are POSTed to /solve, admitted through a bounded queue, and executed
+// on a worker pool; when the queue is full the daemon answers 429 with
+// a Retry-After hint instead of stalling the client. /healthz reports
+// liveness and queue depth, /metrics exports the counters in Prometheus
+// text format. SIGINT/SIGTERM drains: admission stops, in-flight jobs
+// finish, then the process exits.
+//
+//	resilienced -addr 127.0.0.1:8912 -workers 4 -queue 8
+//	curl -s localhost:8912/solve -d '{"scenario":"-grid 8 -ranks 4 -scheme CR-M -ckpt 5 -tol 1e-10 -seed 7 -faults SWO@5:r1,SNF@6:r0"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"resilience/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8912", "listen address (port 0 picks a free port)")
+		workers    = flag.Int("workers", 0, "solver pool size (0: GOMAXPROCS)")
+		queueCap   = flag.Int("queue", 0, "pending-job queue capacity (0: 2x workers)")
+		jobTimeout = flag.Duration("job-timeout", 120*time.Second, "per-job wall-clock cap")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queueCap, *jobTimeout, *retryAfter, *drainGrace, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run serves until a signal (or a send on stop, for tests) and drains.
+func run(addr string, workers, queueCap int, jobTimeout, retryAfter, drainGrace time.Duration, stop <-chan struct{}) error {
+	svc := service.New(service.Config{
+		Workers:    workers,
+		QueueCap:   queueCap,
+		JobTimeout: jobTimeout,
+		RetryAfter: retryAfter,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: svc}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("resilienced listening on http://%s", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		log.Printf("caught %v, draining", s)
+	case <-stop:
+		log.Printf("stop requested, draining")
+	case err := <-serveErr:
+		return fmt.Errorf("resilienced: serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		return fmt.Errorf("resilienced: drain: %w", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("resilienced: http shutdown: %w", err)
+	}
+	log.Printf("drained clean, exiting")
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, solves
+// one scenario through it, and stops it via the test hook.
+func TestRunServesAndDrains(t *testing.T) {
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	defer log.SetOutput(log.Writer())
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", 2, 4, time.Minute, time.Second, 10*time.Second, stop)
+	}()
+
+	var addr string
+	re := regexp.MustCompile(`listening on http://([^\s]+)`)
+	for deadline := time.Now().Add(5 * time.Second); addr == ""; {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body := `{"scenario":"-grid 6 -ranks 2 -scheme LI -tol 1e-10 -seed 5 -faults SNF@4:r1"}`
+	resp, err := http.Post("http://"+addr+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve answered %d: %s", resp.StatusCode, got)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(got, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res["kind"] != "scenario" || res["converged"] != true {
+		t.Fatalf("unexpected result: %s", got)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after stop")
+	}
+	if !strings.Contains(buf.String(), "drained clean") {
+		t.Fatalf("no clean-drain log line:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	if err := run("256.0.0.1:-1", 1, 1, time.Second, time.Second, time.Second, nil); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -96,6 +96,19 @@ func NewScenario(rng *rand.Rand, opts Options) *Scenario {
 		}
 		s.Faults = append(s.Faults, f)
 	}
+	if isCR(s.Scheme) && len(s.Faults) >= 2 && rng.Intn(3) == 0 {
+		// Stale-restore pattern: a system-wide outage voids the memory
+		// checkpoints, then a non-SWO fault lands right after — its
+		// recovery must roll back to the initial guess, not the destroyed
+		// copy (the CR-M bug class this generator keeps covered).
+		k := rng.Intn(len(s.Faults) - 1)
+		s.Faults[k].Class = fault.SWO
+		next := &s.Faults[k+1]
+		if next.Class == fault.SWO {
+			next.Class = fault.SNF
+		}
+		next.Iter = s.Faults[k].Iter + 1 + rng.Intn(2)
+	}
 	// The schedule injector fires faults in iteration order; keep the
 	// scenario's list in that order so Args round-trips the actual firing
 	// sequence.

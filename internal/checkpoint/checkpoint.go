@@ -71,9 +71,11 @@ func (s DiskStore) WriteTime(bytes int64, writers int) float64 {
 	return s.Plat.DiskWriteTime(bytes, writers)
 }
 
-// ReadTime implements Store; restart reads contend the same way.
+// ReadTime implements Store; restart reads contend the same way but may
+// run at their own bandwidth (Platform.DiskReadBandwidth, which defaults
+// to the write bandwidth).
 func (s DiskStore) ReadTime(bytes int64, readers int) float64 {
-	return s.Plat.DiskWriteTime(bytes, readers)
+	return s.Plat.DiskReadTime(bytes, readers)
 }
 
 // CPUBusy implements Store: the core blocks on I/O.

@@ -142,3 +142,48 @@ func TestDiskLinearInWriters(t *testing.T) {
 		}
 	}
 }
+
+// TestPolicyDueEveryIteration pins the EveryIters=1 edge: a checkpoint
+// is due after every completed iteration, but never "after" iteration 0
+// (nothing has run yet), and a zero policy is never due.
+func TestPolicyDueEveryIteration(t *testing.T) {
+	p := FixedPolicy(1)
+	if p.Due(0) {
+		t.Error("EveryIters=1 due at 0 completed iterations")
+	}
+	for k := 1; k <= 5; k++ {
+		if !p.Due(k) {
+			t.Errorf("EveryIters=1 not due at %d", k)
+		}
+	}
+	var zero Policy
+	for k := 0; k <= 3; k++ {
+		if zero.Due(k) {
+			t.Errorf("zero policy due at %d", k)
+		}
+	}
+	if (Policy{EveryIters: 1}).Due(-1) {
+		t.Error("due at negative iteration count")
+	}
+}
+
+// TestDiskStoreReadUsesReadBandwidth: DiskStore.ReadTime routes through
+// Platform.DiskReadTime, so a dedicated read bandwidth changes restores
+// without touching checkpoint writes.
+func TestDiskStoreReadUsesReadBandwidth(t *testing.T) {
+	plat := platform.Default()
+	disk := DiskStore{Plat: plat}
+	const bytes = 1 << 20
+	wBefore := disk.WriteTime(bytes, 8)
+	rBefore := disk.ReadTime(bytes, 8)
+	if rBefore != wBefore {
+		t.Fatalf("default read %g != write %g", rBefore, wBefore)
+	}
+	plat.DiskReadBandwidth = 4 * plat.DiskBandwidth
+	if got := disk.WriteTime(bytes, 8); got != wBefore {
+		t.Errorf("write time moved with read bandwidth: %g != %g", got, wBefore)
+	}
+	if got := disk.ReadTime(bytes, 8); got >= rBefore {
+		t.Errorf("read time %g not reduced by 4x read bandwidth (was %g)", got, rBefore)
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -232,6 +233,10 @@ type resMonitor struct {
 	rng      *rand.Rand
 	faults   []fault.Fault
 	pending  []pendingFault
+	// ctx, when non-nil, is polled at every iteration boundary so a
+	// canceled or expired context aborts the run promptly. Only set for
+	// cancellable contexts — Run's Background context costs nothing.
+	ctx context.Context
 }
 
 // pendingFault is an injected-but-undetected silent corruption.
@@ -241,6 +246,11 @@ type pendingFault struct {
 }
 
 func (m *resMonitor) BeforeIteration(it *solver.Iter) (bool, error) {
+	if m.ctx != nil {
+		if err := m.ctx.Err(); err != nil {
+			return false, fmt.Errorf("core: run canceled at iteration %d: %w", it.K, err)
+		}
+	}
 	if m.cfg.Trace != nil && it.C.Rank() == 0 {
 		relres := 0.0
 		if it.State.NormB > 0 && it.State.Rho >= 0 {
@@ -366,6 +376,20 @@ func ckptPolicy(cfg *RunConfig, maxBlockRows int) (checkpoint.Policy, error) {
 
 // Run executes one resilient solve and reports its metrics.
 func Run(cfg RunConfig) (*RunReport, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: every rank polls the
+// context at each iteration boundary, so a canceled or expired context
+// aborts the solve within one iteration. The returned error wraps
+// ctx.Err() (test with errors.Is). A background context adds no per-
+// iteration cost: only cancellable contexts are polled.
+func RunContext(ctx context.Context, cfg RunConfig) (*RunReport, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: run canceled before start: %w", err)
+		}
+	}
 	if cfg.A == nil || cfg.A.Rows != cfg.A.Cols || len(cfg.B) != cfg.A.Rows {
 		return nil, fmt.Errorf("core: invalid system (A %v, len(b)=%d)", cfg.A, len(cfg.B))
 	}
@@ -411,6 +435,9 @@ func Run(cfg RunConfig) (*RunReport, error) {
 			cfg:    &cfg,
 			scheme: scheme,
 			rng:    rand.New(rand.NewSource(cfg.Seed + 7919)),
+		}
+		if ctx != nil && ctx.Done() != nil {
+			mon.ctx = ctx
 		}
 		if cfg.InjectorFactory != nil {
 			mon.injector = cfg.InjectorFactory()

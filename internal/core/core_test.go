@@ -1,6 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"strings"
+	"time"
+
 	"math"
 	"testing"
 
@@ -506,5 +511,44 @@ func TestForwardRecoveryFreeWhenFaultFree(t *testing.T) {
 	}
 	if crRep.Checkpoints == 0 {
 		t.Error("no checkpoints in fault-free CR run")
+	}
+}
+
+// TestRunContext pins the context plumbing: a live context changes
+// nothing (bitwise-identical to Run), a pre-canceled one fails before
+// the cluster spins up, and an expiring deadline stops the solve at an
+// iteration boundary with a wrapped context error.
+func TestRunContext(t *testing.T) {
+	cfg, xTrue := testSystem(t)
+
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, withCtx, xTrue, 1e-8)
+	if withCtx.Iters != plain.Iters || withCtx.RelRes != plain.RelRes ||
+		withCtx.Time != plain.Time || withCtx.Energy != plain.Energy {
+		t.Fatalf("background context perturbed the run: %+v vs %+v", withCtx, plain)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(canceled, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v, want context.Canceled", err)
+	}
+
+	expiring, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	time.Sleep(5 * time.Millisecond)
+	_, err = RunContext(expiring, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired run returned %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "canceled at iteration") && !strings.Contains(err.Error(), "canceled before start") {
+		t.Fatalf("cancellation error lost its location: %v", err)
 	}
 }

@@ -7,7 +7,6 @@ package model
 
 import (
 	"fmt"
-	"math"
 )
 
 // Params carries the model inputs for one workload/scheme configuration.
@@ -181,6 +180,3 @@ func LambdaFromMTBF(mtbfSeconds float64) float64 {
 	}
 	return 1 / mtbfSeconds
 }
-
-// guard: math is used by downstream files in this package.
-var _ = math.Sqrt

@@ -27,6 +27,27 @@ func WriteMetricsCSV(w io.Writer, ms []Metrics) error {
 	return nil
 }
 
+// Total sums per-rank counter registries into one aggregate snapshot
+// (Rank is set to -1). Serving layers use it to fold a whole run's
+// communication and computation into service-level counters.
+func Total(ms []Metrics) Metrics {
+	t := Metrics{Rank: -1}
+	for _, m := range ms {
+		t.MsgsSent += m.MsgsSent
+		t.BytesSent += m.BytesSent
+		t.MsgsRecv += m.MsgsRecv
+		t.BytesRecv += m.BytesRecv
+		t.Collectives += m.Collectives
+		t.Flops += m.Flops
+		t.Restarts += m.Restarts
+		t.ComputeSec += m.ComputeSec
+		t.SendSec += m.SendSec
+		t.WaitSec += m.WaitSec
+		t.CollectiveSec += m.CollectiveSec
+	}
+	return t
+}
+
 // MetricsTable renders the per-rank counters as an aligned text table for
 // the report layer.
 func MetricsTable(ms []Metrics) *report.Table {

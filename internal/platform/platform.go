@@ -46,9 +46,13 @@ type Platform struct {
 
 	// Checkpoint storage. Disk bandwidth is shared across all writers
 	// (the paper assumes a shared disk), memory bandwidth is per core.
-	DiskBandwidth float64 // bytes/second, aggregate
-	DiskLatency   float64 // seconds per checkpoint operation
-	MemBandwidth  float64 // bytes/second, per core
+	DiskBandwidth float64 // bytes/second, aggregate, writes
+	// DiskReadBandwidth is the aggregate restart-read bandwidth; zero
+	// means "same as DiskBandwidth" (the seed behavior, so existing
+	// configurations and golden tables are unchanged).
+	DiskReadBandwidth float64 // bytes/second, aggregate, reads
+	DiskLatency       float64 // seconds per checkpoint operation
+	MemBandwidth      float64 // bytes/second, per core
 
 	// Power model (watts per core).
 	PCoreMax   float64
@@ -165,6 +169,21 @@ func (p *Platform) DiskWriteTime(bytes int64, writers int) float64 {
 	return p.DiskLatency + float64(bytes)/bw
 }
 
+// DiskReadTime returns the time to read the given bytes when `readers`
+// ranks share the disk concurrently. Reads use DiskReadBandwidth, which
+// defaults to the write bandwidth when unset.
+func (p *Platform) DiskReadTime(bytes int64, readers int) float64 {
+	if readers < 1 {
+		readers = 1
+	}
+	bw := p.DiskReadBandwidth
+	if bw <= 0 {
+		bw = p.DiskBandwidth
+	}
+	bw /= float64(readers)
+	return p.DiskLatency + float64(bytes)/bw
+}
+
 // MemWriteTime returns the time to copy the given bytes into a local
 // in-memory checkpoint.
 func (p *Platform) MemWriteTime(bytes int64) float64 {
@@ -188,6 +207,8 @@ func (p *Platform) Validate() error {
 	case p.DiskBandwidth <= 0 || p.MemBandwidth <= 0:
 		return fmt.Errorf("platform: bad storage bandwidths disk=%g mem=%g",
 			p.DiskBandwidth, p.MemBandwidth)
+	case p.DiskReadBandwidth < 0:
+		return fmt.Errorf("platform: negative disk read bandwidth %g", p.DiskReadBandwidth)
 	case p.PCoreMax <= 0:
 		return fmt.Errorf("platform: non-positive core power %g", p.PCoreMax)
 	}

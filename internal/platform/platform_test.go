@@ -160,3 +160,35 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		}
 	}
 }
+
+func TestDiskReadTime(t *testing.T) {
+	p := Default()
+	// Unset read bandwidth defaults to the write bandwidth: reads and
+	// writes cost exactly the same (the seed behavior, byte-identical).
+	for _, readers := range []int{1, 2, 17, 192} {
+		if r, w := p.DiskReadTime(1<<20, readers), p.DiskWriteTime(1<<20, readers); r != w {
+			t.Errorf("readers=%d: DiskReadTime %g != DiskWriteTime %g with default read bandwidth", readers, r, w)
+		}
+	}
+	if p.DiskReadTime(1, 0) <= 0 {
+		t.Error("readers<1 must clamp, not panic")
+	}
+	// A dedicated read bandwidth decouples the two: doubling it halves
+	// the transfer term.
+	p.DiskReadBandwidth = 2 * p.DiskBandwidth
+	r := p.DiskReadTime(1<<20, 4) - p.DiskLatency
+	w := p.DiskWriteTime(1<<20, 4) - p.DiskLatency
+	if math.Abs(r-w/2) > 1e-12 {
+		t.Errorf("doubled read bandwidth: read %g want %g", r, w/2)
+	}
+	// Contention still divides the read bandwidth across readers.
+	r1 := p.DiskReadTime(1<<20, 1) - p.DiskLatency
+	r2 := p.DiskReadTime(1<<20, 2) - p.DiskLatency
+	if math.Abs(r2-2*r1) > 1e-12 {
+		t.Errorf("disk read contention: %g vs 2*%g", r2, r1)
+	}
+	p.DiskReadBandwidth = -1
+	if p.Validate() == nil {
+		t.Error("negative read bandwidth accepted")
+	}
+}

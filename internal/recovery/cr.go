@@ -71,23 +71,24 @@ func (s *CR) AfterIteration(ctx *Ctx, completedIters int) error {
 
 // Recover implements Scheme: global rollback. A system-wide outage (SWO)
 // destroys memory checkpoints — buddy copies included — so CR-M falls
-// back to the initial guess for that class; disk checkpoints survive
-// every class.
+// back to the initial guess for that class and the destroyed checkpoint
+// is forgotten: a later fault must not restore from it. No read cost is
+// charged when nothing survives to be read.
 func (s *CR) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	c := ctx.C
 	defer ctx.span(obs.SpanRollback)()
 	prev := c.SetPhase(PhaseRollback)
-	dur := s.Store.ReadTime(s.ckptBytes(ctx), ctx.Ranks())
-	if s.Store.CPUBusy() {
-		c.ElapseActive(dur)
-	} else {
-		c.ElapseIdle(dur)
-	}
-	survived := s.hasCkpt
 	if f.Class == fault.SWO && s.Store.Name() == "memory" {
-		survived = false
+		s.hasCkpt = false
+		s.ckptIter = 0
 	}
-	if survived {
+	if s.hasCkpt {
+		dur := s.Store.ReadTime(s.ckptBytes(ctx), ctx.Ranks())
+		if s.Store.CPUBusy() {
+			c.ElapseActive(dur)
+		} else {
+			c.ElapseIdle(dur)
+		}
 		copy(ctx.St.X, s.last)
 	} else if s.X0 != nil {
 		copy(ctx.St.X, s.X0)

@@ -90,19 +90,21 @@ func (s *CR2L) Recover(ctx *Ctx, f fault.Fault) (bool, error) {
 	bytes := s.ckptBytes(ctx)
 	s.Rollbacks++
 
-	memUsable := s.hasMem && f.Class != fault.SWO
+	if f.Class == fault.SWO {
+		// The outage voids the memory level whether or not a disk copy
+		// exists to fall back on; a later fault must not restore from the
+		// destroyed buddy copy.
+		s.hasMem = false
+		s.memIter = 0
+	}
 	switch {
-	case memUsable && (!s.hasDisk || s.memIter >= s.diskIter):
+	case s.hasMem && (!s.hasDisk || s.memIter >= s.diskIter):
 		c.ElapseActive(s.Mem.ReadTime(bytes, ctx.Ranks()))
 		copy(ctx.St.X, s.lastMem)
 	case s.hasDisk:
 		c.ElapseIdle(s.Disk.ReadTime(bytes, ctx.Ranks()))
 		copy(ctx.St.X, s.lastDisk)
 		s.DiskRestores++
-		if f.Class == fault.SWO {
-			// The outage also voided the memory level.
-			s.hasMem = false
-		}
 	default:
 		if s.X0 != nil {
 			copy(ctx.St.X, s.X0)

@@ -1,0 +1,260 @@
+// Package service exposes the resilient solver as an HTTP/JSON service:
+// solve and experiment jobs are admitted through a bounded queue with
+// explicit backpressure, executed on a worker pool, and answered with
+// bitwise-faithful results.
+//
+// The service's correctness contract is determinism: a job's response is
+// byte-identical to running the same job offline through RunJob, for any
+// worker count, queue order, or concurrency. The contract holds by
+// construction — the HTTP workers and the offline oracle of
+// cmd/resilience-load call the same RunJob — and is enforced end-to-end
+// by the load generator and the scripts/check.sh service gate.
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"time"
+
+	"resilience/internal/chaos"
+	"resilience/internal/core"
+	"resilience/internal/experiments"
+	"resilience/internal/matgen"
+	"resilience/internal/obs"
+)
+
+// JobRequest is one unit of work submitted to POST /solve. Exactly one
+// of Scenario, Experiment, or SleepMs selects the job kind:
+//
+//   - Scenario runs one resilient solve from a chaos replay flag string
+//     (the canonical scenario codec, e.g.
+//     "-grid 8 -ranks 4 -scheme CR-M -ckpt 5 -seed 7 -faults SWO@5:r1").
+//   - Experiment runs a registered paper experiment by ID at the given
+//     scale and returns its rendered tables.
+//   - SleepMs holds a worker for the given wall-clock time and returns
+//     nothing. It exists so load tests can fill the queue
+//     deterministically and observe backpressure without burning CPU.
+type JobRequest struct {
+	// Scenario is a chaos replay flag string (see chaos.ParseArgs).
+	Scenario string `json:"scenario,omitempty"`
+
+	// Experiment is a registered experiment ID (see experiments.All).
+	Experiment string `json:"experiment,omitempty"`
+	// Scale sizes an experiment job: "tiny", "ci", or "paper".
+	// Empty means "tiny".
+	Scale string `json:"scale,omitempty"`
+	// Workers bounds the experiment engine's internal concurrency
+	// (0 = engine default). Output is byte-identical for any value.
+	Workers int `json:"workers,omitempty"`
+	// Seed overrides the experiment fault-injection seed (0 = default).
+	Seed int64 `json:"seed,omitempty"`
+
+	// SleepMs holds a worker for this many milliseconds (diagnostic).
+	SleepMs int `json:"sleep_ms,omitempty"`
+
+	// TimeoutMs caps the job's wall-clock time. Zero inherits the
+	// server-wide job timeout; a positive value may only tighten it.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Kind returns "scenario", "experiment", or "sleep".
+func (r *JobRequest) Kind() string {
+	switch {
+	case r.Scenario != "":
+		return "scenario"
+	case r.Experiment != "":
+		return "experiment"
+	default:
+		return "sleep"
+	}
+}
+
+// Validate rejects malformed requests before they reach the queue, so
+// admission failures are the client's bill, not a worker's.
+func (r *JobRequest) Validate() error {
+	set := 0
+	if r.Scenario != "" {
+		set++
+	}
+	if r.Experiment != "" {
+		set++
+	}
+	if r.SleepMs > 0 {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("service: request must set exactly one of scenario, experiment, sleep_ms (got %d)", set)
+	}
+	if r.SleepMs < 0 {
+		return fmt.Errorf("service: negative sleep_ms %d", r.SleepMs)
+	}
+	if r.TimeoutMs < 0 {
+		return fmt.Errorf("service: negative timeout_ms %d", r.TimeoutMs)
+	}
+	switch {
+	case r.Scenario != "":
+		if _, err := chaos.ParseArgs(r.Scenario); err != nil {
+			return fmt.Errorf("service: bad scenario: %w", err)
+		}
+	case r.Experiment != "":
+		if _, ok := experiments.Get(r.Experiment); !ok {
+			return fmt.Errorf("service: unknown experiment %q", r.Experiment)
+		}
+		if r.Scale != "" {
+			if _, err := matgen.ParseScale(r.Scale); err != nil {
+				return fmt.Errorf("service: bad scale: %w", err)
+			}
+		}
+		if r.Workers < 0 {
+			return fmt.Errorf("service: negative workers %d", r.Workers)
+		}
+	}
+	return nil
+}
+
+// JobResult is the response body for a completed job. Float fields are
+// hex float64 strings (strconv 'x' format), which round-trip every bit;
+// the solution and residual history are folded to FNV-1a-64 hashes over
+// their raw float64 bit patterns, so two results are byte-equal exactly
+// when the underlying runs were bitwise-identical.
+type JobResult struct {
+	Kind string `json:"kind"`
+
+	// Scenario jobs.
+	Scheme       string `json:"scheme,omitempty"`
+	Ranks        int    `json:"ranks,omitempty"`
+	Iters        int    `json:"iters,omitempty"`
+	Converged    bool   `json:"converged,omitempty"`
+	RelRes       string `json:"relres,omitempty"`
+	Time         string `json:"time,omitempty"`
+	Energy       string `json:"energy,omitempty"`
+	Restarts     int    `json:"restarts,omitempty"`
+	Checkpoints  int    `json:"checkpoints,omitempty"`
+	Faults       int    `json:"faults,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	SolutionHash string `json:"solution_hash,omitempty"`
+	HistoryHash  string `json:"history_hash,omitempty"`
+
+	// Experiment jobs: the rendered tables, verbatim.
+	Output string `json:"output,omitempty"`
+
+	// Sleep jobs.
+	SleptMs int `json:"slept_ms,omitempty"`
+}
+
+// RunJob executes one job to completion, honoring ctx for cancellation
+// and deadlines. It is the single execution path shared by the service
+// worker pool and the offline oracle of cmd/resilience-load; the
+// returned recorder (scenario jobs only, nil otherwise) carries the
+// run's per-rank counters for the /metrics exporter.
+func RunJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recorder, error) {
+	if err := req.Validate(); err != nil {
+		return nil, nil, err
+	}
+	switch req.Kind() {
+	case "scenario":
+		return runScenarioJob(ctx, req)
+	case "experiment":
+		return runExperimentJob(ctx, req)
+	default:
+		return runSleepJob(ctx, req)
+	}
+}
+
+func runScenarioJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recorder, error) {
+	s, err := chaos.ParseArgs(req.Scenario)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, b := s.System()
+	cfg, err := s.RunConfig(a, b, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := obs.NewRecorder()
+	cfg.Obs = rec
+	rep, err := core.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &JobResult{
+		Kind:         "scenario",
+		Scheme:       rep.Scheme,
+		Ranks:        rep.Ranks,
+		Iters:        rep.Iters,
+		Converged:    rep.Converged,
+		RelRes:       hexFloat(rep.RelRes),
+		Time:         hexFloat(rep.Time),
+		Energy:       hexFloat(rep.Energy),
+		Restarts:     rep.Restarts,
+		Checkpoints:  rep.Checkpoints,
+		Faults:       len(rep.Faults),
+		Seed:         rep.Seed,
+		SolutionHash: hashFloats(rep.Solution),
+		HistoryHash:  hashFloats(rep.History),
+	}, rec, nil
+}
+
+func runExperimentJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recorder, error) {
+	runner, _ := experiments.Get(req.Experiment)
+	scale := matgen.Tiny
+	if req.Scale != "" {
+		scale, _ = matgen.ParseScale(req.Scale)
+	}
+	cfg := experiments.Default(scale)
+	cfg.Workers = req.Workers
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	// The experiment engine predates context plumbing; bound it with a
+	// pre-flight check so expired jobs fail fast instead of running.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("service: experiment canceled before start: %w", err)
+	}
+	res, err := runner.Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &JobResult{
+		Kind:   "experiment",
+		Seed:   cfg.Seed,
+		Output: res.String(),
+	}, nil, nil
+}
+
+func runSleepJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recorder, error) {
+	d := time.Duration(req.SleepMs) * time.Millisecond
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return &JobResult{Kind: "sleep", SleptMs: req.SleepMs}, nil, nil
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("service: sleep job interrupted: %w", ctx.Err())
+	}
+}
+
+// hexFloat renders a float64 with every bit intact ('x' format
+// round-trips exactly; %g does not).
+func hexFloat(v float64) string {
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+// hashFloats folds a vector to an FNV-1a-64 hash over the little-endian
+// bit patterns of its elements, preceded by the length — so responses
+// stay small while remaining sensitive to any single-ULP difference.
+func hashFloats(xs []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(xs)))
+	h.Write(buf[:])
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

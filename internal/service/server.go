@@ -1,0 +1,332 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"resilience/internal/obs"
+)
+
+// Config sizes the server. The zero value is usable: GOMAXPROCS
+// workers, a queue twice that deep, a 120 s job timeout.
+type Config struct {
+	// Workers is the solver pool size (<=0: GOMAXPROCS).
+	Workers int
+	// QueueCap bounds pending (admitted, not yet running) jobs
+	// (<=0: 2*Workers). Beyond it the server answers 429.
+	QueueCap int
+	// JobTimeout caps each job's wall-clock time (<=0: 120 s). Requests
+	// may tighten it per job via timeout_ms, never loosen it.
+	JobTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (<=0: 1 s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 2 * c.Workers
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 120 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the service counters, exported
+// on /metrics and used by tests and /healthz.
+type Stats struct {
+	Admitted  int64
+	Rejected  int64
+	Completed int64
+	Failed    int64
+	// QueueDepth is the number of admitted jobs not yet picked up.
+	QueueDepth int
+	// SolveVirtualSec accumulates modeled time-to-solution per scheme;
+	// SolveWallSec accumulates worker wall-clock per job kind/scheme.
+	SolveVirtualSec map[string]float64
+	SolveWallSec    map[string]float64
+	// Ranks folds every completed scenario run's per-rank counters
+	// (bytes, messages, collectives, flops) into one aggregate.
+	Ranks obs.Metrics
+}
+
+// Server is the HTTP solve service: a bounded queue in front of a
+// worker pool, explicit backpressure, per-job deadlines, and a graceful
+// drain. It implements http.Handler.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue *queue
+
+	// admitMu serializes admission against the drain flip: admits hold
+	// it shared across the draining check and the push, Shutdown takes
+	// it exclusively to flip draining — so every successful push
+	// happens-before the drain and the queue never sees a late send.
+	admitMu  sync.RWMutex
+	draining bool
+
+	inflight sync.WaitGroup // admitted jobs not yet answered
+	workers  sync.WaitGroup
+
+	mu sync.Mutex // guards the Stats fields below
+	st Stats
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: newQueue(cfg.QueueCap),
+	}
+	s.st.SolveVirtualSec = make(map[string]float64)
+	s.st.SolveWallSec = make(map[string]float64)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown stops admission, waits for every admitted job to be
+// answered, then stops the workers. Safe to call once; ctx bounds the
+// drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.admitMu.Unlock()
+	if already {
+		return errors.New("service: shutdown called twice")
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+	s.queue.close()
+	s.workers.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.st
+	out.QueueDepth = s.queue.depth()
+	out.SolveVirtualSec = make(map[string]float64, len(s.st.SolveVirtualSec))
+	for k, v := range s.st.SolveVirtualSec {
+		out.SolveVirtualSec[k] = v
+	}
+	out.SolveWallSec = make(map[string]float64, len(s.st.SolveWallSec))
+	for k, v := range s.st.SolveWallSec {
+		out.SolveWallSec[k] = v
+	}
+	return out
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue.ch {
+		start := time.Now()
+		res, rec, err := RunJob(j.ctx, j.req)
+		j.cancel()
+		s.record(j.req, res, rec, err, time.Since(start))
+		j.done <- jobOutcome{result: res, rec: rec, err: err}
+		s.inflight.Done()
+	}
+}
+
+// record folds one finished job into the service counters.
+func (s *Server) record(req JobRequest, res *JobResult, rec *obs.Recorder, err error, wall time.Duration) {
+	key := req.Kind()
+	if res != nil && res.Scheme != "" {
+		key = res.Scheme
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.st.Failed++
+		return
+	}
+	s.st.Completed++
+	s.st.SolveWallSec[key] += wall.Seconds()
+	if res.Time != "" {
+		if v, perr := strconv.ParseFloat(res.Time, 64); perr == nil {
+			s.st.SolveVirtualSec[key] += v
+		}
+	}
+	if rec != nil {
+		s.st.Ranks = obs.Total([]obs.Metrics{s.st.Ranks, obs.Total(rec.Metrics())})
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	timeout := s.cfg.JobTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	jctx, cancel := context.WithTimeout(r.Context(), timeout)
+	j := &job{req: req, ctx: jctx, cancel: cancel, done: make(chan jobOutcome, 1)}
+
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.inflight.Add(1)
+	admitted := s.queue.tryPush(j)
+	s.admitMu.RUnlock()
+
+	if !admitted {
+		s.inflight.Done()
+		cancel()
+		s.mu.Lock()
+		s.st.Rejected++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	s.mu.Lock()
+	s.st.Admitted++
+	s.mu.Unlock()
+
+	out := <-j.done
+	if out.err != nil {
+		switch {
+		case errors.Is(out.err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, out.err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, out.err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, out.result)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	status, code := "ok", http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"workers":     s.cfg.Workers,
+		"queue_cap":   s.cfg.QueueCap,
+		"queue_depth": s.queue.depth(),
+	})
+}
+
+// handleMetrics renders the counters in the Prometheus text format,
+// map keys sorted so the output is deterministic.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	put := func(name string, v any) {
+		fmt.Fprintf(w, "resilienced_%s %v\n", name, v)
+	}
+	put("jobs_admitted_total", st.Admitted)
+	put("jobs_rejected_total", st.Rejected)
+	put("jobs_completed_total", st.Completed)
+	put("jobs_failed_total", st.Failed)
+	put("queue_depth", st.QueueDepth)
+	put("queue_capacity", s.cfg.QueueCap)
+	put("workers", s.cfg.Workers)
+	for _, k := range sortedKeys(st.SolveVirtualSec) {
+		fmt.Fprintf(w, "resilienced_solve_virtual_seconds_total{scheme=%q} %.9g\n", k, st.SolveVirtualSec[k])
+	}
+	for _, k := range sortedKeys(st.SolveWallSec) {
+		fmt.Fprintf(w, "resilienced_solve_wall_seconds_total{scheme=%q} %.9g\n", k, st.SolveWallSec[k])
+	}
+	put("rank_msgs_sent_total", st.Ranks.MsgsSent)
+	put("rank_bytes_sent_total", st.Ranks.BytesSent)
+	put("rank_collectives_total", st.Ranks.Collectives)
+	put("rank_flops_total", st.Ranks.Flops)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	n := int(math.Ceil(d.Seconds()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeJSON marshals v in one shot (no Encoder trailing newline) so the
+// response bytes match json.Marshal of the same value exactly — the
+// load generator compares them byte-for-byte against its oracle.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}

@@ -4,6 +4,8 @@
 # solvers that run inside it, and the parallel experiment engine), a
 # seeded chaos fault campaign under the race detector, short fuzz smokes
 # over the seed corpora, the observation-disabled zero-allocation gate,
+# a service integration gate (resilienced under a seeded resilience-load
+# burst: queue-full rejections, byte-identical responses, clean drain),
 # and a benchdiff comparison against the most recent BENCH_*.json perf
 # baseline.
 set -eux
@@ -33,6 +35,30 @@ go test -run '^$' -fuzz '^FuzzScenarioArgs$' -fuzztime 5s ./internal/chaos
 # by BenchmarkCGIterationObserved but not gated).
 go test -run '^$' -bench '^BenchmarkCGIteration$' -benchmem -benchtime 2000x . |
     grep '^BenchmarkCGIteration[^O]' | grep -q ' 0 allocs/op'
+
+# Service gate: boot resilienced deliberately small (2 workers, 2 queue
+# slots), flood it with a sleep-job burst that must hit queue-full (429 +
+# Retry-After, retried to completion), then replay a seeded scenario
+# stream whose responses must be byte-identical to the offline oracle;
+# finish with a SIGTERM drain that must exit clean.
+svc_dir=$(mktemp -d)
+go build -o "$svc_dir/resilienced" ./cmd/resilienced
+go build -o "$svc_dir/resilience-load" ./cmd/resilience-load
+"$svc_dir/resilienced" -addr 127.0.0.1:0 -workers 2 -queue 2 -retry-after 1s \
+    > "$svc_dir/resilienced.log" 2>&1 &
+svc_pid=$!
+svc_addr=''
+for _ in $(seq 1 100); do
+    svc_addr=$(sed -n 's#.*listening on http://\([^ ]*\).*#\1#p' "$svc_dir/resilienced.log")
+    [ -n "$svc_addr" ] && break
+    sleep 0.1
+done
+test -n "$svc_addr"
+"$svc_dir/resilience-load" -addr "http://$svc_addr" -n 16 -c 8 -seed 1 -burst 8 -sleep-ms 200
+kill -TERM "$svc_pid"
+wait "$svc_pid"
+grep -q 'drained clean' "$svc_dir/resilienced.log"
+rm -rf "$svc_dir"
 
 # Perf trajectory: fail on ns/op, allocs/op or bytes/op regressions
 # against the latest recorded baseline. Kernel-only (fast); the timing
