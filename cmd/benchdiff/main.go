@@ -32,6 +32,8 @@ import (
 	"resilience/internal/cluster"
 	"resilience/internal/platform"
 	"resilience/internal/power"
+	"resilience/internal/service"
+	"resilience/internal/service/cache"
 	"resilience/internal/solver"
 	"resilience/internal/sparse"
 	"resilience/internal/vec"
@@ -241,6 +243,58 @@ func kernelSuite() []namedBench {
 		}},
 		{"MulVecDistOverlap/p4-g32", func(b *testing.B) {
 			benchMulVecDist(b, true)
+		}},
+		// Solve-service cache hot paths. The hit, miss, and join paths
+		// run once per request on the daemon; all three are gated at
+		// 0 allocs/op (a cache front that allocates per lookup would cost
+		// more than it saves at production request rates).
+		{"CacheGetHit/1024x16", func(b *testing.B) {
+			c := cache.New[[]byte](1024, 16)
+			body := []byte(`{"kind":"scenario","iters":42}`)
+			for i := 0; i < 64; i++ {
+				c.Put("j1|scenario|-grid 8 -seed "+fmt.Sprint(i), body)
+			}
+			key := "j1|scenario|-grid 8 -seed 7"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := c.Get(key); !ok {
+					b.Fatal("hit path missed")
+				}
+			}
+		}},
+		{"CacheGetMiss/1024x16", func(b *testing.B) {
+			c := cache.New[[]byte](1024, 16)
+			c.Put("resident", []byte("x"))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := c.Get("j1|scenario|-grid 9 -seed 12345"); ok {
+					b.Fatal("miss path hit")
+				}
+			}
+		}},
+		{"SingleflightJoin/serial", func(b *testing.B) {
+			g := cache.NewGroup[int]()
+			fn := func() (int, error) { return 42, nil }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if v, err, _ := g.Do("k", fn); v != 42 || err != nil {
+					b.Fatal("flight failed")
+				}
+			}
+		}},
+		{"CanonicalEncode/scenario", func(b *testing.B) {
+			req := service.JobRequest{Scenario: "-grid 8 -ranks 4 -scheme CR-M -tol 1e-10 -ckpt 5 -seed 7 -faults SWO@5:r1,SNF@6:r0"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key, ok, err := service.CanonicalKey(req)
+				if !ok || err != nil || key == "" {
+					b.Fatal("bad key")
+				}
+			}
 		}},
 		{"CGIteration/p4-g32", func(b *testing.B) {
 			a := resilience.Laplacian2D(32)

@@ -1,8 +1,9 @@
 // Command resilience-load replays a seeded job stream against a running
-// resilienced and proves the service's determinism contract: every
-// response body must be byte-identical to running the same job offline
-// through service.RunJob — whatever the daemon's worker count, queue
-// order, or concurrency.
+// resilienced (or a resilience-router fronting a fleet) and proves the
+// service's determinism contract: every response body must be
+// byte-identical to running the same job offline through
+// service.RunJob — whatever the daemon's worker count, queue order,
+// concurrency, or cache state.
 //
 // An optional burst phase first floods the queue with sleep jobs to
 // exercise explicit backpressure: it demands at least one 429, honors
@@ -10,7 +11,15 @@
 // retry. The scenario stream itself is drawn from the chaos generator,
 // so the same -seed/-n replays the same mixed workload anywhere.
 //
+// An optional duplicate-heavy phase (-dup-jobs) then replays a
+// zipf-skewed stream over a small set of unique jobs: every response is
+// still byte-compared against the local oracle, and the target's cache
+// counters must show a hit rate of at least -min-hit-rate across the
+// phase — the end-to-end proof that the content-addressed cache both
+// fires and never changes a single byte.
+//
 //	resilience-load -addr http://127.0.0.1:8912 -n 24 -c 8 -seed 1 -burst 8
+//	resilience-load -addr http://127.0.0.1:8910 -n 0 -dup-jobs 20000 -dup-unique 96 -min-hit-rate 0.5
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,53 +47,93 @@ import (
 // `chaos -seed S`.
 const seedStride = 0x9E3779B9
 
+// options carries every run parameter; tests fill it directly.
+type options struct {
+	addr      string
+	n         int
+	c         int
+	seed      int64
+	maxFaults int
+	burst     int
+	sleepMs   int
+	timeoutMs int
+
+	// Duplicate-heavy phase: dupJobs requests drawn zipf-skewed from
+	// dupUnique distinct jobs; the target's cache hit rate over the
+	// phase must reach minHitRate.
+	dupJobs    int
+	dupUnique  int
+	dupZipf    float64
+	minHitRate float64
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", "http://127.0.0.1:8912", "resilienced base URL")
-		n         = flag.Int("n", 24, "number of scenario jobs")
-		c         = flag.Int("c", 4, "concurrent submitters")
-		seed      = flag.Int64("seed", 1, "stream seed (scenario i derives seed+i*stride)")
-		maxFaults = flag.Int("max-faults", 3, "faults per scenario drawn from 0..k")
-		burst     = flag.Int("burst", 0, "sleep jobs to flood the queue with first (0: skip the backpressure phase)")
-		sleepMs   = flag.Int("sleep-ms", 300, "duration of each burst sleep job")
-		timeoutMs = flag.Int("timeout-ms", 0, "per-job timeout_ms sent with each request (0: server default)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "http://127.0.0.1:8912", "resilienced or resilience-router base URL")
+	flag.IntVar(&o.n, "n", 24, "number of scenario jobs in the oracle stream")
+	flag.IntVar(&o.c, "c", 4, "concurrent submitters")
+	flag.Int64Var(&o.seed, "seed", 1, "stream seed (scenario i derives seed+i*stride)")
+	flag.IntVar(&o.maxFaults, "max-faults", 3, "faults per scenario drawn from 0..k")
+	flag.IntVar(&o.burst, "burst", 0, "sleep jobs to flood the queue with first (0: skip the backpressure phase)")
+	flag.IntVar(&o.sleepMs, "sleep-ms", 300, "duration of each burst sleep job")
+	flag.IntVar(&o.timeoutMs, "timeout-ms", 0, "per-job timeout_ms sent with each request (0: server default)")
+	flag.IntVar(&o.dupJobs, "dup-jobs", 0, "requests in the duplicate-heavy phase (0: skip)")
+	flag.IntVar(&o.dupUnique, "dup-unique", 96, "distinct jobs the duplicate stream draws from")
+	flag.Float64Var(&o.dupZipf, "dup-zipf", 1.2, "zipf skew of the duplicate stream (>1; higher = hotter head)")
+	flag.Float64Var(&o.minHitRate, "min-hit-rate", 0.5, "required cache hit rate across the duplicate phase")
 	flag.Parse()
-	if err := run(*addr, *n, *c, *seed, *maxFaults, *burst, *sleepMs, *timeoutMs, os.Stdout); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n, c int, seed int64, maxFaults, burst, sleepMs, timeoutMs int, out io.Writer) error {
-	if c < 1 {
-		c = 1
+func run(o options, out io.Writer) error {
+	if o.c < 1 {
+		o.c = 1
 	}
 	client := &http.Client{Timeout: 5 * time.Minute}
 
-	if burst > 0 {
-		rejected, err := runBurst(client, addr, burst, sleepMs, out)
+	if o.burst > 0 {
+		rejected, err := runBurst(client, o.addr, o.burst, o.sleepMs, out)
 		if err != nil {
 			return err
 		}
 		if rejected == 0 {
-			return fmt.Errorf("resilience-load: burst of %d sleep jobs saw no 429 — queue never filled; shrink -workers/-queue on the daemon or raise -burst", burst)
+			return fmt.Errorf("resilience-load: burst of %d sleep jobs saw no 429 — queue never filled; shrink -workers/-queue on the daemon or raise -burst", o.burst)
 		}
 	}
 
+	if o.n > 0 {
+		if err := runStream(client, o, out); err != nil {
+			return err
+		}
+	}
+
+	if o.dupJobs > 0 {
+		if err := runDupPhase(client, o, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStream replays the seeded scenario stream, comparing every
+// response byte-for-byte against the local oracle.
+func runStream(client *http.Client, o options, out io.Writer) error {
 	start := time.Now()
 	var mismatches, failures atomic.Int64
 	var retries atomic.Int64
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < c; w++ {
+	for w := 0; w < o.c; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				rng := rand.New(rand.NewSource(seed + int64(i)*seedStride))
-				s := chaos.NewScenario(rng, chaos.Options{MaxFaults: maxFaults})
-				req := service.JobRequest{Scenario: s.Args(), TimeoutMs: timeoutMs}
+				rng := rand.New(rand.NewSource(o.seed + int64(i)*seedStride))
+				s := chaos.NewScenario(rng, chaos.Options{MaxFaults: o.maxFaults})
+				req := service.JobRequest{Scenario: s.Args(), TimeoutMs: o.timeoutMs}
 				oracleRes, _, err := service.RunJob(context.Background(), req)
 				if err != nil {
 					failures.Add(1)
@@ -95,7 +145,7 @@ func run(addr string, n, c int, seed int64, maxFaults, burst, sleepMs, timeoutMs
 					failures.Add(1)
 					continue
 				}
-				code, got, r, err := postRetry(client, addr, req)
+				code, got, r, err := postRetry(client, o.addr, req)
 				retries.Add(int64(r))
 				if err != nil || code != http.StatusOK {
 					failures.Add(1)
@@ -109,18 +159,153 @@ func run(addr string, n, c int, seed int64, maxFaults, burst, sleepMs, timeoutMs
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < o.n; i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
 
 	fmt.Fprintf(out, "resilience-load: %d scenario jobs, %d submitters, %d retries after 429, %d mismatches, %d failures, %.2fs\n",
-		n, c, retries.Load(), mismatches.Load(), failures.Load(), time.Since(start).Seconds())
+		o.n, o.c, retries.Load(), mismatches.Load(), failures.Load(), time.Since(start).Seconds())
 	if m, f := mismatches.Load(), failures.Load(); m > 0 || f > 0 {
 		return fmt.Errorf("resilience-load: %d mismatches, %d failures", m, f)
 	}
 	return nil
+}
+
+// runDupPhase replays a zipf-skewed duplicate-heavy stream over a small
+// set of unique jobs. Each unique job's oracle body is computed locally
+// exactly once; every one of the dupJobs responses must match it
+// byte-for-byte, and the target's cache counters (scraped from /metrics
+// before and after) must show a hit rate of at least minHitRate.
+func runDupPhase(client *http.Client, o options, out io.Writer) error {
+	if o.dupUnique < 1 {
+		o.dupUnique = 1
+	}
+	start := time.Now()
+
+	// Unique job set with locally-computed oracle bodies. Seeds continue
+	// past the stream phase's range so the two phases stay independent.
+	uniq := make([]service.JobRequest, o.dupUnique)
+	oracle := make([][]byte, o.dupUnique)
+	for i := range uniq {
+		rng := rand.New(rand.NewSource(o.seed + int64(o.n+i)*seedStride))
+		s := chaos.NewScenario(rng, chaos.Options{MaxFaults: o.maxFaults})
+		uniq[i] = service.JobRequest{Scenario: s.Args(), TimeoutMs: o.timeoutMs}
+		res, _, err := service.RunJob(context.Background(), uniq[i])
+		if err != nil {
+			return fmt.Errorf("resilience-load: dup oracle %d: %w", i, err)
+		}
+		oracle[i], err = json.Marshal(res)
+		if err != nil {
+			return err
+		}
+	}
+
+	hits0, misses0, err := scrapeCacheCounters(client, o.addr)
+	if err != nil {
+		return fmt.Errorf("resilience-load: pre-phase metrics scrape: %w", err)
+	}
+
+	// The whole index stream is drawn up front from one generator, so
+	// the workload is deterministic regardless of submitter scheduling.
+	zr := rand.New(rand.NewSource(o.seed ^ 0x5ca1ab1e))
+	zipf := rand.NewZipf(zr, o.dupZipf, 1, uint64(o.dupUnique-1))
+	if zipf == nil {
+		return fmt.Errorf("resilience-load: bad zipf skew %v (need > 1)", o.dupZipf)
+	}
+	stream := make([]int, o.dupJobs)
+	for i := range stream {
+		stream[i] = int(zipf.Uint64())
+	}
+
+	var mismatches, failures, retries atomic.Int64
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < o.c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				code, got, r, err := postRetry(client, o.addr, uniq[idx])
+				retries.Add(int64(r))
+				if err != nil || code != http.StatusOK {
+					failures.Add(1)
+					fmt.Fprintf(out, "dup job (uniq %d): status %d err %v: %s\n", idx, code, err, got)
+					continue
+				}
+				if !bytes.Equal(got, oracle[idx]) {
+					mismatches.Add(1)
+					fmt.Fprintf(out, "dup job (uniq %d): response differs from oracle\n  scenario: %s\n  got:  %s\n  want: %s\n",
+						idx, uniq[idx].Scenario, got, oracle[idx])
+				}
+			}
+		}()
+	}
+	for _, idx := range stream {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	hits1, misses1, err := scrapeCacheCounters(client, o.addr)
+	if err != nil {
+		return fmt.Errorf("resilience-load: post-phase metrics scrape: %w", err)
+	}
+	dh, dm := hits1-hits0, misses1-misses0
+	lookups := dh + dm
+	rate := 0.0
+	if lookups > 0 {
+		rate = dh / lookups
+	}
+	fmt.Fprintf(out, "resilience-load: dup phase %d jobs over %d uniques (zipf %.2f), cache hit rate %.3f (floor %.2f), %d retries after 429, %d mismatches, %d failures, %.2fs\n",
+		o.dupJobs, o.dupUnique, o.dupZipf, rate, o.minHitRate, retries.Load(), mismatches.Load(), failures.Load(), time.Since(start).Seconds())
+	if m, f := mismatches.Load(), failures.Load(); m > 0 || f > 0 {
+		return fmt.Errorf("resilience-load: dup phase: %d mismatches, %d failures", m, f)
+	}
+	if lookups <= 0 {
+		return fmt.Errorf("resilience-load: dup phase: cache counters never moved (%v hits, %v misses) — is the cache disabled?", dh, dm)
+	}
+	if rate < o.minHitRate {
+		return fmt.Errorf("resilience-load: dup phase: cache hit rate %.3f below floor %.2f", rate, o.minHitRate)
+	}
+	return nil
+}
+
+// scrapeCacheCounters pulls the target's /metrics and sums the
+// unlabeled counters whose names end in cache_hits_total and
+// cache_misses_total — matching both a bare resilienced and a
+// resilience-router's fleet aggregate.
+func scrapeCacheCounters(client *http.Client, addr string) (hits, misses float64, err error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if perr != nil {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "cache_hits_total"):
+			hits += v
+		case strings.HasSuffix(name, "cache_misses_total"):
+			misses += v
+		}
+	}
+	return hits, misses, nil
 }
 
 // runBurst floods the queue with sleep jobs and reports how many were

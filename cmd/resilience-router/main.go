@@ -1,0 +1,133 @@
+// Command resilience-router fronts a fleet of resilienced replicas with
+// a consistent-hash router.
+//
+// Canonical job keys map stably onto replicas, so each replica's result
+// cache concentrates on its own key range and the fleet-wide hit rate
+// approaches a single cache N times the size. Replica 429s (and their
+// Retry-After hints) pass through untouched; the router adds its own
+// bounded in-flight admission on top. Replica death or drain re-shards
+// the ring — only the dead replica's key range moves. /healthz reports
+// fleet liveness, /metrics aggregates per-replica queue depth and cache
+// hit rates, and POST /replicas changes membership at runtime.
+// SIGINT/SIGTERM drains in-flight forwards, then exits.
+//
+//	resilience-router -addr 127.0.0.1:8910 \
+//	  -replicas http://127.0.0.1:8912,http://127.0.0.1:8913
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"resilience/internal/service/router"
+)
+
+// options carries every run parameter; tests fill it directly.
+type options struct {
+	addr        string
+	replicas    string // comma-separated base URLs
+	vnodes      int
+	maxInflight int
+	retryAfter  time.Duration
+	healthEvery time.Duration
+	drainGrace  time.Duration
+	pprofAddr   string
+	stop        <-chan struct{} // test hook: a close drains like a signal
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8910", "listen address (port 0 picks a free port)")
+	flag.StringVar(&o.replicas, "replicas", "", "comma-separated replica base URLs (required)")
+	flag.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per replica on the hash ring (0: 64)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "max concurrently forwarded requests (0: 256)")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on router-side 429s")
+	flag.DurationVar(&o.healthEvery, "health-every", 2*time.Second, "replica health-probe interval (negative: disabled)")
+	flag.DurationVar(&o.drainGrace, "drain-grace", 30*time.Second, "max time to drain in-flight forwards on shutdown")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// servePprof exposes the net/http/pprof handlers (registered on the
+// default mux by the underscore import) on their own listener, kept off
+// the routing port.
+func servePprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("pprof listening on http://%s/debug/pprof/", ln.Addr())
+	go http.Serve(ln, nil)
+	return nil
+}
+
+// run routes until a signal (or a close of o.stop, for tests) and drains.
+func run(o options) error {
+	var urls []string
+	for _, u := range strings.Split(o.replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rt, err := router.New(router.Config{
+		Replicas:    urls,
+		VNodes:      o.vnodes,
+		MaxInflight: o.maxInflight,
+		RetryAfter:  o.retryAfter,
+		HealthEvery: o.healthEvery,
+	})
+	if err != nil {
+		return fmt.Errorf("resilience-router: %w", err)
+	}
+	if o.pprofAddr != "" {
+		if err := servePprof(o.pprofAddr); err != nil {
+			return fmt.Errorf("resilience-router: pprof: %w", err)
+		}
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		rt.Shutdown(context.Background())
+		return err
+	}
+	hs := &http.Server{Handler: rt}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("resilience-router listening on http://%s (%d replicas)", ln.Addr(), len(urls))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		log.Printf("caught %v, draining", s)
+	case <-o.stop:
+		log.Printf("stop requested, draining")
+	case err := <-serveErr:
+		return fmt.Errorf("resilience-router: serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainGrace)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		return fmt.Errorf("resilience-router: drain: %w", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("resilience-router: http shutdown: %w", err)
+	}
+	log.Printf("drained clean, exiting")
+	return nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/service"
+)
+
+// TestRunRoutesAndDrains boots the router over two real in-process
+// replicas, solves through it (repeat must hit a replica cache), and
+// stops it via the test hook.
+func TestRunRoutesAndDrains(t *testing.T) {
+	r1 := httptest.NewServer(service.New(service.Config{Workers: 2}))
+	defer r1.Close()
+	r2 := httptest.NewServer(service.New(service.Config{Workers: 2}))
+	defer r2.Close()
+
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	defer log.SetOutput(log.Writer())
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run(options{
+			addr:        "127.0.0.1:0",
+			replicas:    r1.URL + ", " + r2.URL,
+			healthEvery: -1,
+			retryAfter:  time.Second,
+			drainGrace:  10 * time.Second,
+			stop:        stop,
+		})
+	}()
+
+	var addr string
+	re := regexp.MustCompile(`resilience-router listening on http://([^\s]+)`)
+	for deadline := time.Now().Add(5 * time.Second); addr == ""; {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never announced its address:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body := `{"scenario":"-grid 6 -ranks 2 -scheme LI -tol 1e-10 -seed 5"}`
+	var first []byte
+	for i, wantCache := range []string{"miss", "hit"} {
+		resp, err := http.Post("http://"+addr+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d answered %d: %s", i, resp.StatusCode, got)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != wantCache {
+			t.Fatalf("solve %d X-Cache %q, want %q", i, xc, wantCache)
+		}
+		if i == 0 {
+			first = got
+			var res map[string]any
+			if err := json.Unmarshal(got, &res); err != nil {
+				t.Fatal(err)
+			}
+			if res["kind"] != "scenario" {
+				t.Fatalf("unexpected result: %s", got)
+			}
+		} else if !bytes.Equal(got, first) {
+			t.Fatalf("repeat bytes differ through router")
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(hz), `"replicas_alive":2`) {
+		t.Fatalf("healthz %d: %s", resp.StatusCode, hz)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router did not exit after stop")
+	}
+	if !strings.Contains(buf.String(), "drained clean") {
+		t.Fatalf("no clean-drain log line:\n%s", buf.String())
+	}
+}
+
+func TestRunRequiresReplicas(t *testing.T) {
+	if err := run(options{addr: "127.0.0.1:0", replicas: " , "}); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	r1 := httptest.NewServer(service.New(service.Config{Workers: 1}))
+	defer r1.Close()
+	if err := run(options{addr: "256.0.0.1:-1", replicas: r1.URL, healthEvery: -1}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -1,9 +1,11 @@
 // Command resilienced serves resilient solves over HTTP/JSON.
 //
 // Jobs (scenario replays, registered experiments, diagnostic sleeps)
-// are POSTed to /solve, admitted through a bounded queue, and executed
-// on a worker pool; when the queue is full the daemon answers 429 with
-// a Retry-After hint instead of stalling the client. /healthz reports
+// are POSTed to /solve. A content-addressed result cache with
+// single-flight dedup answers repeated jobs ahead of admission; new
+// work is admitted through a bounded queue and executed on a worker
+// pool. When the queue is full the daemon answers 429 with a
+// Retry-After hint instead of stalling the client. /healthz reports
 // liveness and queue depth, /metrics exports the counters in Prometheus
 // text format. SIGINT/SIGTERM drains: admission stops, in-flight jobs
 // finish, then the process exits.
@@ -19,6 +21,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,31 +30,65 @@ import (
 	"resilience/internal/service"
 )
 
+// options carries every run parameter; tests fill it directly.
+type options struct {
+	addr       string
+	workers    int
+	queueCap   int
+	cacheCap   int
+	jobTimeout time.Duration
+	retryAfter time.Duration
+	drainGrace time.Duration
+	pprofAddr  string
+	stop       <-chan struct{} // test hook: a close drains like a signal
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", "127.0.0.1:8912", "listen address (port 0 picks a free port)")
-		workers    = flag.Int("workers", 0, "solver pool size (0: GOMAXPROCS)")
-		queueCap   = flag.Int("queue", 0, "pending-job queue capacity (0: 2x workers)")
-		jobTimeout = flag.Duration("job-timeout", 120*time.Second, "per-job wall-clock cap")
-		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
-		drainGrace = flag.Duration("drain-grace", 30*time.Second, "max time to drain in-flight jobs on shutdown")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8912", "listen address (port 0 picks a free port)")
+	flag.IntVar(&o.workers, "workers", 0, "solver pool size (0: GOMAXPROCS)")
+	flag.IntVar(&o.queueCap, "queue", 0, "pending-job queue capacity (0: 2x workers)")
+	flag.IntVar(&o.cacheCap, "cache", 0, "result-cache capacity in entries (0: 4096, negative: disabled)")
+	flag.DurationVar(&o.jobTimeout, "job-timeout", 120*time.Second, "per-job wall-clock cap")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429 responses")
+	flag.DurationVar(&o.drainGrace, "drain-grace", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	flag.Parse()
-	if err := run(*addr, *workers, *queueCap, *jobTimeout, *retryAfter, *drainGrace, nil); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-// run serves until a signal (or a send on stop, for tests) and drains.
-func run(addr string, workers, queueCap int, jobTimeout, retryAfter, drainGrace time.Duration, stop <-chan struct{}) error {
-	svc := service.New(service.Config{
-		Workers:    workers,
-		QueueCap:   queueCap,
-		JobTimeout: jobTimeout,
-		RetryAfter: retryAfter,
-	})
+// servePprof exposes the net/http/pprof handlers (registered on the
+// default mux by the underscore import) on their own listener, kept off
+// the service port so profiling is never reachable from service
+// clients.
+func servePprof(addr string) error {
 	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("pprof listening on http://%s/debug/pprof/", ln.Addr())
+	go http.Serve(ln, nil)
+	return nil
+}
+
+// run serves until a signal (or a close of o.stop, for tests) and drains.
+func run(o options) error {
+	svc := service.New(service.Config{
+		Workers:    o.workers,
+		QueueCap:   o.queueCap,
+		CacheCap:   o.cacheCap,
+		JobTimeout: o.jobTimeout,
+		RetryAfter: o.retryAfter,
+	})
+	if o.pprofAddr != "" {
+		if err := servePprof(o.pprofAddr); err != nil {
+			return fmt.Errorf("resilienced: pprof: %w", err)
+		}
+	}
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
@@ -66,13 +103,13 @@ func run(addr string, workers, queueCap int, jobTimeout, retryAfter, drainGrace 
 	select {
 	case s := <-sig:
 		log.Printf("caught %v, draining", s)
-	case <-stop:
+	case <-o.stop:
 		log.Printf("stop requested, draining")
 	case err := <-serveErr:
 		return fmt.Errorf("resilienced: serve: %w", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainGrace)
 	defer cancel()
 	if err := svc.Shutdown(ctx); err != nil {
 		return fmt.Errorf("resilienced: drain: %w", err)

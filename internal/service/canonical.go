@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"resilience/internal/chaos"
+	"resilience/internal/core"
+	"resilience/internal/experiments"
+	"resilience/internal/matgen"
+	"resilience/internal/recovery"
+)
+
+// canonicalVersion prefixes every cache key so a future change to the
+// encoding can never alias keys produced by an older one.
+const canonicalVersion = "j1"
+
+// CanonicalKey renders req as its canonical cache key: a stable byte
+// string such that two requests get the same key exactly when the
+// service's determinism contract guarantees byte-identical results.
+// cacheable is false for jobs whose outcome is not a pure function of
+// the request (sleep diagnostics); err is non-nil only for requests
+// Validate would reject.
+//
+// Normalization rules (pinned by TestCanonicalKey* and FuzzCanonicalKey):
+//
+//   - Scenario jobs: the flag string is parsed and re-rendered through
+//     the canonical scenario codec, so flag order, extra whitespace,
+//     elided defaults, alternate float spellings of -tol, and scheme
+//     aliases/case ("crm", "CR-M") all collapse to one key. Faults are
+//     stable-sorted by iteration —
+//     exactly the order fault.NewScheduleAt executes them in — so
+//     listings that differ only in cross-iteration order unify, while
+//     same-iteration order (which changes execution) is preserved.
+//   - Experiment jobs: the scale name is normalized ("" means tiny) and
+//     a zero seed is resolved to the experiment default, so explicit and
+//     elided defaults unify. Workers is excluded: the experiment engine
+//     documents byte-identical output for any worker count.
+//   - TimeoutMs is excluded for every kind: a deadline changes whether a
+//     result is produced, never which bytes it contains, and failed jobs
+//     are never cached.
+func CanonicalKey(req JobRequest) (key string, cacheable bool, err error) {
+	switch req.Kind() {
+	case "scenario":
+		s, err := chaos.ParseArgs(req.Scenario)
+		if err != nil {
+			return "", false, err
+		}
+		spec, err := chaos.ParseSchemeName(s.Scheme)
+		if err != nil {
+			return "", false, err
+		}
+		s.Scheme = canonicalSchemeName(spec)
+		sort.SliceStable(s.Faults, func(i, j int) bool { return s.Faults[i].Iter < s.Faults[j].Iter })
+		return canonicalVersion + "|scenario|" + s.Args(), true, nil
+	case "experiment":
+		if _, ok := experiments.Get(req.Experiment); !ok {
+			return "", false, fmt.Errorf("service: unknown experiment %q", req.Experiment)
+		}
+		scale := matgen.Tiny
+		if req.Scale != "" {
+			scale, err = matgen.ParseScale(req.Scale)
+			if err != nil {
+				return "", false, err
+			}
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = experiments.Default(scale).Seed
+		}
+		return fmt.Sprintf("%s|experiment|%s|%s|%d", canonicalVersion, req.Experiment, scale, seed), true, nil
+	default:
+		return "", false, nil
+	}
+}
+
+// canonicalSchemeName inverts chaos.ParseSchemeName: one spelling per
+// scheme spec, chosen from the names the parser accepts so the
+// canonical scenario string stays replayable. Aliases ("CRM", "DMR")
+// and case variants all land on the same name.
+func canonicalSchemeName(spec core.SchemeSpec) string {
+	switch spec.Kind {
+	case core.F0:
+		return "F0"
+	case core.FI:
+		return "FI"
+	case core.LI:
+		switch {
+		case spec.DVFS:
+			return "LI-DVFS"
+		case spec.Construct == recovery.ConstructExact:
+			return "LI-LU"
+		}
+		return "LI"
+	case core.LSI:
+		switch {
+		case spec.DVFS:
+			return "LSI-DVFS"
+		case spec.Construct == recovery.ConstructExact:
+			return "LSI-QR"
+		}
+		return "LSI"
+	case core.CRM:
+		return "CR-M"
+	case core.CRD:
+		return "CR-D"
+	case core.CR2L:
+		return "CR-2L"
+	case core.RD:
+		return "RD"
+	case core.TMR:
+		return "TMR"
+	}
+	// Unreachable: ParseSchemeName only produces the kinds above.
+	return fmt.Sprintf("Kind(%d)", int(spec.Kind))
+}

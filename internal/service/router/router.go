@@ -1,0 +1,607 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/service"
+)
+
+// Config sizes the router. Replicas is the only required field.
+type Config struct {
+	// Replicas is the initial replica base URLs (http://host:port).
+	Replicas []string
+	// VNodes is the virtual nodes per replica on the hash ring
+	// (<=0: 64). More vnodes spread keys more evenly; fewer move less
+	// data on membership change.
+	VNodes int
+	// MaxInflight bounds concurrently forwarded requests — the router's
+	// own admission queue, mirroring the replica discipline: beyond it
+	// the router answers 429 + Retry-After instead of stacking
+	// connections (<=0: 256).
+	MaxInflight int
+	// RetryAfter is the hint sent with router-side 429s (<=0: 1 s).
+	// Replica 429s carry the replica's own hint through untouched.
+	RetryAfter time.Duration
+	// HealthEvery is the background health-probe interval (0: 2 s;
+	// negative: no background probing — failures are still detected on
+	// forward errors).
+	HealthEvery time.Duration
+	// ForwardTimeout caps one forwarded solve round-trip (<=0: 150 s —
+	// above the replicas' default 120 s job timeout).
+	ForwardTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.HealthEvery == 0 {
+		c.HealthEvery = 2 * time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 150 * time.Second
+	}
+	return c
+}
+
+// member is one configured replica and its routability.
+type member struct {
+	url     string
+	alive   bool
+	lastErr string
+}
+
+// Router consistent-hash-routes solve jobs across resilienced replicas.
+// It implements http.Handler with the same endpoint surface as a
+// replica (/solve, /healthz, /metrics) plus /replicas for membership.
+type Router struct {
+	cfg    Config
+	mux    *http.ServeMux
+	client *http.Client
+	probe  *http.Client
+
+	// admitMu serializes admission against the drain flip, exactly like
+	// the replica server's discipline.
+	admitMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+	slots    chan struct{}
+
+	// mu guards membership; the assembled ring is swapped atomically so
+	// routing reads never block on membership churn.
+	mu      sync.Mutex
+	members map[string]*member
+	ring    atomic.Pointer[ring]
+
+	rr atomic.Uint64 // round-robin cursor for keyless jobs
+
+	stopHealth chan struct{}
+	healthDone chan struct{}
+
+	routed    atomic.Int64
+	rejected  atomic.Int64
+	rerouted  atomic.Int64
+	noReplica atomic.Int64
+
+	perMu     sync.Mutex
+	perRouted map[string]int64
+}
+
+// New builds a Router and starts its health prober (unless disabled).
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("router: no replicas configured")
+	}
+	rt := &Router{
+		cfg:        cfg,
+		client:     &http.Client{Timeout: cfg.ForwardTimeout},
+		probe:      &http.Client{Timeout: 2 * time.Second},
+		slots:      make(chan struct{}, cfg.MaxInflight),
+		members:    make(map[string]*member),
+		stopHealth: make(chan struct{}),
+		healthDone: make(chan struct{}),
+		perRouted:  make(map[string]int64),
+	}
+	for _, u := range cfg.Replicas {
+		u = strings.TrimRight(u, "/")
+		if u == "" {
+			return nil, errors.New("router: empty replica URL")
+		}
+		rt.members[u] = &member{url: u, alive: true}
+	}
+	rt.reshard()
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/solve", rt.handleSolve)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/replicas", rt.handleReplicas)
+	if cfg.HealthEvery > 0 {
+		go rt.healthLoop()
+	} else {
+		close(rt.healthDone)
+	}
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Shutdown stops admission, waits for in-flight forwards, and stops the
+// health prober. The replicas drain on their own schedule.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.admitMu.Lock()
+	already := rt.draining
+	rt.draining = true
+	rt.admitMu.Unlock()
+	if already {
+		return errors.New("router: shutdown called twice")
+	}
+	select {
+	case <-rt.stopHealth:
+	default:
+		close(rt.stopHealth)
+	}
+	drained := make(chan struct{})
+	go func() {
+		rt.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return fmt.Errorf("router: drain interrupted: %w", ctx.Err())
+	}
+	<-rt.healthDone
+	rt.client.CloseIdleConnections()
+	rt.probe.CloseIdleConnections()
+	return nil
+}
+
+// reshard rebuilds the ring from the currently-alive membership.
+// Callers must hold mu or be inside New.
+func (rt *Router) reshard() {
+	alive := make([]string, 0, len(rt.members))
+	for _, m := range rt.members {
+		if m.alive {
+			alive = append(alive, m.url)
+		}
+	}
+	rt.ring.Store(buildRing(alive, rt.cfg.VNodes))
+}
+
+// markDown records a forward failure against url and re-shards. Reports
+// whether the membership actually changed (false if already down or
+// since removed).
+func (rt *Router) markDown(url, reason string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m, ok := rt.members[url]
+	if !ok || !m.alive {
+		return false
+	}
+	m.alive = false
+	m.lastErr = reason
+	rt.reshard()
+	return true
+}
+
+// SetMembers applies adds and removals and re-shards. Added replicas
+// start alive (the prober or first forward will correct that within one
+// cycle if wrong).
+func (rt *Router) SetMembers(add, remove []string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, u := range remove {
+		delete(rt.members, strings.TrimRight(u, "/"))
+	}
+	for _, u := range add {
+		u = strings.TrimRight(u, "/")
+		if u == "" {
+			continue
+		}
+		if _, ok := rt.members[u]; !ok {
+			rt.members[u] = &member{url: u, alive: true}
+		}
+	}
+	rt.reshard()
+}
+
+// Members returns the membership snapshot, sorted by URL.
+func (rt *Router) Members() []struct {
+	URL   string
+	Alive bool
+} {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]struct {
+		URL   string
+		Alive bool
+	}, 0, len(rt.members))
+	for _, m := range rt.members {
+		out = append(out, struct {
+			URL   string
+			Alive bool
+		}{m.url, m.alive})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// healthLoop probes /healthz on every member: an OK answer revives it,
+// anything else (including a replica's draining 503) takes it off the
+// ring so new keys re-shard away before forwards start failing.
+func (rt *Router) healthLoop() {
+	defer close(rt.healthDone)
+	tick := time.NewTicker(rt.cfg.HealthEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stopHealth:
+			return
+		case <-tick.C:
+		}
+		rt.mu.Lock()
+		urls := make([]string, 0, len(rt.members))
+		for u := range rt.members {
+			urls = append(urls, u)
+		}
+		rt.mu.Unlock()
+		changed := false
+		for _, u := range urls {
+			alive, reason := rt.probeOne(u)
+			rt.mu.Lock()
+			if m, ok := rt.members[u]; ok && m.alive != alive {
+				m.alive = alive
+				m.lastErr = reason
+				changed = true
+			}
+			rt.mu.Unlock()
+		}
+		if changed {
+			rt.mu.Lock()
+			rt.reshard()
+			rt.mu.Unlock()
+		}
+	}
+}
+
+func (rt *Router) probeOne(url string) (alive bool, reason string) {
+	resp, err := rt.probe.Get(url + "/healthz")
+	if err != nil {
+		return false, err.Error()
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("healthz status %d", resp.StatusCode)
+	}
+	return true, ""
+}
+
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req service.JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Router-side admission, mirroring the replica queue discipline:
+	// explicit 429 + Retry-After, never an implicitly stalled client.
+	rt.admitMu.RLock()
+	if rt.draining {
+		rt.admitMu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case rt.slots <- struct{}{}:
+	default:
+		rt.admitMu.RUnlock()
+		rt.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rt.cfg.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "router saturated")
+		return
+	}
+	rt.inflight.Add(1)
+	rt.admitMu.RUnlock()
+	defer func() {
+		<-rt.slots
+		rt.inflight.Done()
+	}()
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	rt.forward(w, req, body)
+}
+
+// forward routes one job to its replica, failing over (and re-sharding)
+// past dead replicas. Responses — including replica 429s with their
+// Retry-After hints and X-Cache markers — pass through byte-identical.
+func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []byte) {
+	key, cacheable, err := service.CanonicalKey(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	tried := 0
+	for {
+		rg := rt.ring.Load()
+		var target string
+		if cacheable {
+			target = rg.lookup(fnv64a(key))
+		} else {
+			target = rg.nth(rt.rr.Add(1) - 1)
+		}
+		if target == "" {
+			rt.noReplica.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rt.cfg.RetryAfter)))
+			writeError(w, http.StatusServiceUnavailable, "no replica available")
+			return
+		}
+		resp, err := rt.client.Post(target+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			// Transport failure: take the replica off the ring and retry
+			// on the re-sharded ring. Bound attempts by membership size so
+			// a fully-dead fleet terminates.
+			tried++
+			changed := rt.markDown(target, err.Error())
+			if !changed && tried > len(rg.members)+1 {
+				rt.noReplica.Add(1)
+				writeError(w, http.StatusBadGateway, "all replicas unreachable: "+err.Error())
+				return
+			}
+			rt.rerouted.Add(1)
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			tried++
+			rt.markDown(target, err.Error())
+			if tried > len(rg.members)+1 {
+				writeError(w, http.StatusBadGateway, "replica response torn: "+err.Error())
+				return
+			}
+			rt.rerouted.Add(1)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// A draining (or just-booted) replica: re-shard away and let
+			// another replica take the key. The drained replica's cache
+			// hits are lost, not its correctness.
+			tried++
+			if rt.markDown(target, "replica draining") && tried <= len(rg.members)+1 {
+				rt.rerouted.Add(1)
+				continue
+			}
+			// Nothing changed (already down) or attempts exhausted: pass
+			// the 503 through.
+		}
+		rt.routed.Add(1)
+		rt.perMu.Lock()
+		rt.perRouted[target]++
+		rt.perMu.Unlock()
+		for _, h := range []string{"Content-Type", "Retry-After", "X-Cache"} {
+			if v := resp.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(respBody)
+		return
+	}
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.admitMu.RLock()
+	draining := rt.draining
+	rt.admitMu.RUnlock()
+	status, code := "ok", http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	members := rt.Members()
+	alive := 0
+	rep := make(map[string]bool, len(members))
+	for _, m := range members {
+		rep[m.URL] = m.Alive
+		if m.Alive {
+			alive++
+		}
+	}
+	if alive == 0 && code == http.StatusOK {
+		status, code = "no-replicas", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"replicas":       rep,
+		"replicas_alive": alive,
+		"max_inflight":   rt.cfg.MaxInflight,
+	})
+}
+
+// handleReplicas is the membership API: GET lists, POST applies
+// {"add": [...], "remove": [...]} and re-shards the ring.
+func (rt *Router) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		var chg struct {
+			Add    []string `json:"add"`
+			Remove []string `json:"remove"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&chg); err != nil {
+			writeError(w, http.StatusBadRequest, "bad membership body: "+err.Error())
+			return
+		}
+		rt.SetMembers(chg.Add, chg.Remove)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST")
+		return
+	}
+	members := rt.Members()
+	out := make([]map[string]any, 0, len(members))
+	for _, m := range members {
+		out = append(out, map[string]any{"url": m.URL, "alive": m.Alive})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"replicas": out})
+}
+
+// replicaStats is what /metrics scrapes out of one replica.
+type replicaStats struct {
+	queueDepth float64
+	hits       float64
+	misses     float64
+	scraped    bool
+}
+
+// scrapeReplica pulls a replica's /metrics and extracts queue depth and
+// cache counters. Failures leave scraped false — the router's metrics
+// must render even with a dead replica.
+func (rt *Router) scrapeReplica(url string) replicaStats {
+	var st replicaStats
+	resp, err := rt.probe.Get(url + "/metrics")
+	if err != nil {
+		return st
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return st
+	}
+	st.queueDepth = metricValue(body, "resilienced_queue_depth")
+	st.hits = metricValue(body, "resilienced_cache_hits_total")
+	st.misses = metricValue(body, "resilienced_cache_misses_total")
+	st.scraped = true
+	return st
+}
+
+// metricValue extracts an unlabeled metric's value from Prometheus text
+// (0 when absent).
+func metricValue(body []byte, name string) float64 {
+	for _, line := range strings.Split(string(body), "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// handleMetrics renders router counters plus the per-shard (per-replica)
+// queue depths and the fleet-aggregate cache hit rate, scraped live
+// from the replicas.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	put := func(name string, v any) {
+		fmt.Fprintf(w, "resilience_router_%s %v\n", name, v)
+	}
+	members := rt.Members()
+	alive := 0
+	for _, m := range members {
+		if m.Alive {
+			alive++
+		}
+	}
+	put("routed_total", rt.routed.Load())
+	put("rejected_total", rt.rejected.Load())
+	put("rerouted_total", rt.rerouted.Load())
+	put("no_replica_total", rt.noReplica.Load())
+	put("max_inflight", rt.cfg.MaxInflight)
+	put("replicas", len(members))
+	put("replicas_alive", alive)
+
+	var hits, misses float64
+	rt.perMu.Lock()
+	routedCopy := make(map[string]int64, len(rt.perRouted))
+	for k, v := range rt.perRouted {
+		routedCopy[k] = v
+	}
+	rt.perMu.Unlock()
+	for _, m := range members {
+		up := 0
+		if m.Alive {
+			up = 1
+		}
+		fmt.Fprintf(w, "resilience_router_replica_up{replica=%q} %d\n", m.URL, up)
+		fmt.Fprintf(w, "resilience_router_replica_routed_total{replica=%q} %d\n", m.URL, routedCopy[m.URL])
+		if m.Alive {
+			st := rt.scrapeReplica(m.URL)
+			if st.scraped {
+				fmt.Fprintf(w, "resilience_router_replica_queue_depth{replica=%q} %.9g\n", m.URL, st.queueDepth)
+				hits += st.hits
+				misses += st.misses
+			}
+		}
+	}
+	put("cache_hits_total", int64(hits))
+	put("cache_misses_total", int64(misses))
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = hits / (hits + misses)
+	}
+	fmt.Fprintf(w, "resilience_router_cache_hit_ratio %.9g\n", ratio)
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	n := int(math.Ceil(d.Seconds()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}

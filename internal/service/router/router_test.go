@@ -1,0 +1,446 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/service"
+)
+
+// replica boots one real in-process solve service behind httptest.
+func replica(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// boot assembles a router over the given replica URLs with background
+// health probing disabled (tests drive failure detection through
+// forwards, deterministically).
+func boot(t *testing.T, cfg Config, urls ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	cfg.Replicas = urls
+	if cfg.HealthEvery == 0 {
+		cfg.HealthEvery = -1
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt)
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func post(t *testing.T, base string, req service.JobRequest) (int, []byte, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+// TestRingStability: removing one member must move only the keys that
+// member owned — every other key keeps its replica (that is the whole
+// point of consistent hashing: a re-shard does not flush every cache).
+func TestRingStability(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c"}
+	full := buildRing(members, 64)
+	// Configuration order must not matter.
+	shuffled := buildRing([]string{"http://c", "http://a", "http://b"}, 64)
+	without := buildRing([]string{"http://a", "http://c"}, 64)
+
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		h := fnv64a(fmt.Sprintf("key-%d", i))
+		was := full.lookup(h)
+		if got := shuffled.lookup(h); got != was {
+			t.Fatalf("ring depends on member order: key %d %q vs %q", i, was, got)
+		}
+		now := without.lookup(h)
+		if was == "http://b" {
+			moved++
+			continue
+		}
+		if now != was {
+			t.Fatalf("key %d moved from surviving member %q to %q", i, was, now)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+	if empty := buildRing(nil, 8); empty.lookup(42) != "" || empty.nth(3) != "" {
+		t.Fatal("empty ring did not return empty member")
+	}
+}
+
+// TestRouterByteIdentityAndAffinity: responses proxied through the
+// router are byte-identical to the local oracle, and a repeated key
+// lands on the same replica every time (second request is a cache hit).
+func TestRouterByteIdentityAndAffinity(t *testing.T) {
+	_, r1 := replica(t, service.Config{Workers: 2})
+	_, r2 := replica(t, service.Config{Workers: 2})
+	_, rts := boot(t, Config{}, r1.URL, r2.URL)
+
+	jobs := []service.JobRequest{
+		{Scenario: "-grid 8 -ranks 4 -scheme LI -seed 3"},
+		{Scenario: "-grid 8 -ranks 4 -scheme CR-M -ckpt 5 -seed 7 -faults SWO@5:r1"},
+		{Experiment: "tab3"},
+	}
+	for _, req := range jobs {
+		res, _, err := service.RunJob(context.Background(), req)
+		if err != nil {
+			t.Fatalf("oracle %+v: %v", req, err)
+		}
+		want, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body, hdr := post(t, rts.URL, req)
+		if code != http.StatusOK {
+			t.Fatalf("%+v: status %d: %s", req, code, body)
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("%+v: proxied body differs from oracle:\n got %s\nwant %s", req, body, want)
+		}
+		if xc := hdr.Get("X-Cache"); xc != "miss" {
+			t.Fatalf("first request X-Cache %q, want miss", xc)
+		}
+		code2, body2, hdr2 := post(t, rts.URL, req)
+		if code2 != http.StatusOK || !bytes.Equal(body2, want) {
+			t.Fatalf("%+v: repeat differs (status %d)", req, code2)
+		}
+		if xc := hdr2.Get("X-Cache"); xc != "hit" {
+			t.Fatalf("repeat X-Cache %q, want hit — key did not route to the same replica", xc)
+		}
+	}
+}
+
+// TestRouterSpreadsKeys: with enough distinct keys both replicas see
+// work — the ring actually shards instead of collapsing onto one member.
+func TestRouterSpreadsKeys(t *testing.T) {
+	s1, r1 := replica(t, service.Config{Workers: 2})
+	s2, r2 := replica(t, service.Config{Workers: 2})
+	_, rts := boot(t, Config{}, r1.URL, r2.URL)
+
+	for seed := 1; seed <= 12; seed++ {
+		req := service.JobRequest{Scenario: fmt.Sprintf("-grid 8 -ranks 4 -seed %d", seed)}
+		if code, body, _ := post(t, rts.URL, req); code != http.StatusOK {
+			t.Fatalf("seed %d: %d %s", seed, code, body)
+		}
+	}
+	a, b := s1.Stats().Admitted, s2.Stats().Admitted
+	if a == 0 || b == 0 {
+		t.Fatalf("keys did not spread: replica admissions %d / %d", a, b)
+	}
+	if a+b != 12 {
+		t.Fatalf("admissions %d+%d, want 12 total", a, b)
+	}
+}
+
+// TestRouterForwards429: a saturated replica's 429 — body, status, and
+// Retry-After hint — passes through the router untouched.
+func TestRouterForwards429(t *testing.T) {
+	s1, r1 := replica(t, service.Config{Workers: 1, QueueCap: 1, RetryAfter: 2 * time.Second})
+	_, rts := boot(t, Config{}, r1.URL)
+
+	// Fill the worker and the single queue slot with sleeps, and wait
+	// until the replica's counters prove both are occupied before
+	// probing — otherwise the probe can race past the fillers.
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		go func() {
+			post(t, rts.URL, service.JobRequest{SleepMs: 800})
+			release <- struct{}{}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s1.Stats().Admitted < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fillers never saturated the replica: %+v", s1.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	code, body, hdr := post(t, rts.URL, service.JobRequest{SleepMs: 1})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated replica answered %d through the router: %s", code, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q not forwarded (want 2)", got)
+	}
+	if !strings.Contains(string(body), "queue full") {
+		t.Fatalf("429 body not the replica's: %s", body)
+	}
+	<-release
+	<-release
+}
+
+// TestRouterSaturation: the router's own admission bound answers 429
+// with its configured Retry-After once MaxInflight forwards are parked.
+func TestRouterSaturation(t *testing.T) {
+	_, r1 := replica(t, service.Config{Workers: 1, QueueCap: 4})
+	rt, rts := boot(t, Config{MaxInflight: 1, RetryAfter: 3 * time.Second}, r1.URL)
+
+	done := make(chan struct{})
+	go func() {
+		post(t, rts.URL, service.JobRequest{SleepMs: 800})
+		close(done)
+	}()
+	// Wait until the filler actually holds the single in-flight slot
+	// before probing, so the probe cannot race in first.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rt.slots) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("filler never took the in-flight slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	code, body, hdr := post(t, rts.URL, service.JobRequest{SleepMs: 1})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated router answered %d: %s", code, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "3" {
+		t.Fatalf("router Retry-After %q, want 3", got)
+	}
+	if !strings.Contains(string(body), "router saturated") {
+		t.Fatalf("unexpected 429 body: %s", body)
+	}
+	<-done
+	if rt.rejected.Load() == 0 {
+		t.Fatal("router rejection counter never moved")
+	}
+}
+
+// TestRouterFailover: killing a replica mid-fleet re-shards the ring on
+// the first failed forward; every request still succeeds and the dead
+// member is marked down.
+func TestRouterFailover(t *testing.T) {
+	_, r1 := replica(t, service.Config{Workers: 2})
+	s2 := service.New(service.Config{Workers: 2})
+	r2 := httptest.NewServer(s2)
+	rt, rts := boot(t, Config{}, r1.URL, r2.URL)
+
+	r2.Close() // hard replica death: connections refused from here on
+
+	for seed := 1; seed <= 10; seed++ {
+		req := service.JobRequest{Scenario: fmt.Sprintf("-grid 8 -ranks 4 -seed %d", seed)}
+		res, _, err := service.RunJob(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(res)
+		code, body, _ := post(t, rts.URL, req)
+		if code != http.StatusOK || !bytes.Equal(body, want) {
+			t.Fatalf("seed %d after replica death: %d %s", seed, code, body)
+		}
+	}
+	alive := 0
+	for _, m := range rt.Members() {
+		if m.Alive {
+			alive++
+			if m.URL != r1.URL {
+				t.Fatalf("dead replica %q still alive in membership", m.URL)
+			}
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("alive members %d, want 1", alive)
+	}
+	if rt.rerouted.Load() == 0 {
+		t.Fatal("failover never rerouted")
+	}
+}
+
+// TestRouterAllDead: with every replica unreachable the router answers
+// an explicit error instead of spinning.
+func TestRouterAllDead(t *testing.T) {
+	r1 := httptest.NewServer(service.New(service.Config{Workers: 1}))
+	url := r1.URL
+	r1.Close()
+	_, rts := boot(t, Config{}, url)
+
+	code, body, _ := post(t, rts.URL, service.JobRequest{Scenario: "-grid 8 -seed 1"})
+	if code != http.StatusServiceUnavailable && code != http.StatusBadGateway {
+		t.Fatalf("dead fleet answered %d: %s", code, body)
+	}
+}
+
+// TestRouterMembershipAPI: POST /replicas adds and removes members and
+// re-shards; GET lists the current set.
+func TestRouterMembershipAPI(t *testing.T) {
+	_, r1 := replica(t, service.Config{Workers: 2})
+	_, r2 := replica(t, service.Config{Workers: 2})
+	rt, rts := boot(t, Config{}, r1.URL)
+
+	chg, _ := json.Marshal(map[string][]string{"add": {r2.URL}})
+	resp, err := http.Post(rts.URL+"/replicas", "application/json", bytes.NewReader(chg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("membership add: %d", resp.StatusCode)
+	}
+	if got := len(rt.Members()); got != 2 {
+		t.Fatalf("members after add: %d", got)
+	}
+
+	rm, _ := json.Marshal(map[string][]string{"remove": {r1.URL}})
+	resp, err = http.Post(rts.URL+"/replicas", "application/json", bytes.NewReader(rm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	members := rt.Members()
+	if len(members) != 1 || members[0].URL != r2.URL {
+		t.Fatalf("members after remove: %+v", members)
+	}
+	// Work still routes — now necessarily to r2.
+	if code, body, _ := post(t, rts.URL, service.JobRequest{Scenario: "-grid 8 -seed 4"}); code != http.StatusOK {
+		t.Fatalf("post-membership solve: %d %s", code, body)
+	}
+
+	resp, err = http.Get(rts.URL + "/replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(list), r2.URL) || strings.Contains(string(list), r1.URL) {
+		t.Fatalf("GET /replicas listing wrong: %s", list)
+	}
+}
+
+// TestRouterHealthProbeRevives: the background prober takes a draining
+// replica off the ring and brings a recovered one back.
+func TestRouterHealthProbeRevives(t *testing.T) {
+	s1, r1 := replica(t, service.Config{Workers: 2})
+	_, r2 := replica(t, service.Config{Workers: 2})
+	rt, _ := boot(t, Config{HealthEvery: 20 * time.Millisecond}, r1.URL, r2.URL)
+	defer rt.Shutdown(context.Background())
+
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		alive := 0
+		for _, m := range rt.Members() {
+			if m.Alive {
+				alive++
+			}
+		}
+		if alive == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never detected the draining replica: %+v", rt.Members())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterDrain: Shutdown stops admission with an explicit 503 and
+// flips /healthz; a second Shutdown reports the double call.
+func TestRouterDrain(t *testing.T) {
+	_, r1 := replica(t, service.Config{Workers: 2})
+	rt, rts := boot(t, Config{}, r1.URL)
+
+	if err := rt.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := post(t, rts.URL, service.JobRequest{Scenario: "-grid 8 -seed 1"})
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("post-drain solve: %d %s", code, body)
+	}
+	resp, err := http.Get(rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d", resp.StatusCode)
+	}
+	if err := rt.Shutdown(context.Background()); err == nil {
+		t.Fatal("double shutdown unreported")
+	}
+}
+
+// TestRouterMetricsAggregation: /metrics carries router counters,
+// per-replica queue depth, and the fleet-aggregate cache hit counters
+// scraped from the replicas.
+func TestRouterMetricsAggregation(t *testing.T) {
+	_, r1 := replica(t, service.Config{Workers: 2})
+	_, r2 := replica(t, service.Config{Workers: 2})
+	_, rts := boot(t, Config{}, r1.URL, r2.URL)
+
+	req := service.JobRequest{Scenario: "-grid 8 -ranks 4 -seed 5"}
+	for i := 0; i < 3; i++ {
+		if code, body, _ := post(t, rts.URL, req); code != http.StatusOK {
+			t.Fatalf("solve %d: %d %s", i, code, body)
+		}
+	}
+	resp, err := http.Get(rts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+
+	for _, want := range []string{
+		"resilience_router_routed_total 3",
+		"resilience_router_replicas_alive 2",
+		"resilience_router_cache_hits_total 2",
+		"resilience_router_cache_misses_total 1",
+		"resilience_router_replica_queue_depth{replica=",
+		"resilience_router_replica_up{replica=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if v := metricValue(body, "resilience_router_cache_hit_ratio"); v < 0.6 || v > 0.7 {
+		t.Errorf("hit ratio %v, want 2/3", v)
+	}
+}
+
+// TestMetricValue pins the scrape parser against realistic exposition
+// text, including labeled lines that share a prefix with the target.
+func TestMetricValue(t *testing.T) {
+	body := []byte("# HELP x\nresilienced_cache_hits_total 41\nresilienced_cache_hits_total_bogus 7\nresilienced_queue_depth 3\nresilienced_solve_wall_seconds_total{scheme=\"LI\"} 0.5\n")
+	if v := metricValue(body, "resilienced_cache_hits_total"); v != 41 {
+		t.Fatalf("hits = %v", v)
+	}
+	if v := metricValue(body, "resilienced_queue_depth"); v != 3 {
+		t.Fatalf("depth = %v", v)
+	}
+	if v := metricValue(body, "resilienced_cache_misses_total"); v != 0 {
+		t.Fatalf("absent metric = %v", v)
+	}
+}

@@ -14,10 +14,12 @@ import (
 	"time"
 
 	"resilience/internal/obs"
+	"resilience/internal/service/cache"
 )
 
 // Config sizes the server. The zero value is usable: GOMAXPROCS
-// workers, a queue twice that deep, a 120 s job timeout.
+// workers, a queue twice that deep, a 120 s job timeout, a 4096-entry
+// result cache with single-flight dedup.
 type Config struct {
 	// Workers is the solver pool size (<=0: GOMAXPROCS).
 	Workers int
@@ -29,6 +31,12 @@ type Config struct {
 	JobTimeout time.Duration
 	// RetryAfter is the hint sent with 429 responses (<=0: 1 s).
 	RetryAfter time.Duration
+	// CacheCap bounds the content-addressed result cache in entries
+	// (0: 4096; negative: cache and single-flight dedup disabled).
+	CacheCap int
+	// CacheShards splits the cache into independent lock domains
+	// (<=0: 16; rounded up to a power of two).
+	CacheShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -44,6 +52,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
 	return c
 }
 
@@ -56,6 +70,15 @@ type Stats struct {
 	Failed    int64
 	// QueueDepth is the number of admitted jobs not yet picked up.
 	QueueDepth int
+	// Cache counters: every cacheable lookup is exactly one hit or one
+	// miss; Coalesced counts callers whose miss joined another caller's
+	// in-flight execution instead of admitting new work.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	Coalesced      int64
+	CacheEntries   int
+	CacheCapacity  int
 	// SolveVirtualSec accumulates modeled time-to-solution per scheme;
 	// SolveWallSec accumulates worker wall-clock per job kind/scheme.
 	SolveVirtualSec map[string]float64
@@ -65,13 +88,25 @@ type Stats struct {
 	Ranks obs.Metrics
 }
 
-// Server is the HTTP solve service: a bounded queue in front of a
-// worker pool, explicit backpressure, per-job deadlines, and a graceful
-// drain. It implements http.Handler.
+// Server is the HTTP solve service: a content-addressed result cache
+// and single-flight dedup in front of a bounded queue and worker pool,
+// explicit backpressure, per-job deadlines, and a graceful drain. It
+// implements http.Handler.
+//
+// Cache hits and coalesced joins are answered ahead of queue admission
+// and never consume a queue slot — backpressure applies only to
+// genuinely new work. The determinism contract makes this invisible to
+// clients: a cached body is byte-identical to a fresh recomputation.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	queue *queue
+
+	// results caches marshaled 200-OK response bodies by canonical job
+	// key; flights coalesces concurrent identical misses. Both nil when
+	// the cache is disabled (CacheCap < 0).
+	results *cache.Cache[[]byte]
+	flights *cache.Group[flightOut]
 
 	// admitMu serializes admission against the drain flip: admits hold
 	// it shared across the draining check and the push, Shutdown takes
@@ -87,12 +122,26 @@ type Server struct {
 	st Stats
 }
 
+// flightOut is one executed job rendered as an HTTP outcome: the status
+// code, the exact response body bytes, and whether a Retry-After hint
+// applies. Fanning these bytes out to coalesced joiners preserves the
+// byte-identity contract for every waiter, not just the leader.
+type flightOut struct {
+	code       int
+	body       []byte
+	retryAfter bool
+}
+
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		queue: newQueue(cfg.QueueCap),
+	}
+	if cfg.CacheCap > 0 {
+		s.results = cache.New[[]byte](cfg.CacheCap, cfg.CacheShards)
+		s.flights = cache.NewGroup[flightOut]()
 	}
 	s.st.SolveVirtualSec = make(map[string]float64)
 	s.st.SolveWallSec = make(map[string]float64)
@@ -112,7 +161,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Shutdown stops admission, waits for every admitted job to be
 // answered, then stops the workers. Safe to call once; ctx bounds the
-// drain.
+// drain. A draining server still answers cache hits (they touch no
+// queue or worker), which lets a replica behind a router serve out its
+// hot set while the router re-shards around it.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.admitMu.Lock()
 	already := s.draining
@@ -142,6 +193,12 @@ func (s *Server) Stats() Stats {
 	defer s.mu.Unlock()
 	out := s.st
 	out.QueueDepth = s.queue.depth()
+	if s.results != nil {
+		out.CacheHits, out.CacheMisses, out.CacheEvictions = s.results.Stats()
+		_, out.Coalesced = s.flights.Stats()
+		out.CacheEntries = s.results.Len()
+		out.CacheCapacity = s.results.Capacity()
+	}
 	out.SolveVirtualSec = make(map[string]float64, len(s.st.SolveVirtualSec))
 	for k, v := range s.st.SolveVirtualSec {
 		out.SolveVirtualSec[k] = v
@@ -206,21 +263,67 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if s.results != nil {
+		if key, cacheable, _ := CanonicalKey(req); cacheable {
+			s.solveCached(w, key, req)
+			return
+		}
+	}
+	out := s.executeQueued(r.Context(), req)
+	s.writeOutcome(w, out)
+}
+
+// solveCached answers a cacheable job ahead of queue admission: a
+// resident result is served directly, a miss runs at most once per key
+// via single-flight with every concurrent duplicate joining the leader's
+// flight. Only the leader touches the admission queue, so backpressure
+// (and 429s) applies per unique job, not per request.
+//
+// The leader executes under a context detached from its own HTTP
+// request: its result is shared by coalesced joiners, so one client's
+// disconnect must not cancel everyone's job. 200-OK bodies are cached;
+// errors and rejections fan out to the current waiters but are never
+// stored.
+func (s *Server) solveCached(w http.ResponseWriter, key string, req JobRequest) {
+	if body, ok := s.results.Get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
+	out, _, shared := s.flights.Do(key, func() (flightOut, error) {
+		fo := s.executeQueued(context.Background(), req)
+		if fo.code == http.StatusOK {
+			s.results.Put(key, fo.body)
+		}
+		return fo, nil
+	})
+	if shared {
+		w.Header().Set("X-Cache", "coalesced")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	s.writeOutcome(w, out)
+}
+
+// executeQueued runs req through admission, the bounded queue, and the
+// worker pool, rendering the outcome as exact response bytes. It is the
+// single execution path for direct, cached-miss, and coalesced-leader
+// requests.
+func (s *Server) executeQueued(parent context.Context, req JobRequest) flightOut {
 	timeout := s.cfg.JobTimeout
 	if req.TimeoutMs > 0 {
 		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
 			timeout = d
 		}
 	}
-	jctx, cancel := context.WithTimeout(r.Context(), timeout)
+	jctx, cancel := context.WithTimeout(parent, timeout)
 	j := &job{req: req, ctx: jctx, cancel: cancel, done: make(chan jobOutcome, 1)}
 
 	s.admitMu.RLock()
 	if s.draining {
 		s.admitMu.RUnlock()
 		cancel()
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
+		return flightOut{code: http.StatusServiceUnavailable, body: errorBody("draining")}
 	}
 	s.inflight.Add(1)
 	admitted := s.queue.tryPush(j)
@@ -232,9 +335,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.st.Rejected++
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
-		writeError(w, http.StatusTooManyRequests, "queue full")
-		return
+		return flightOut{code: http.StatusTooManyRequests, body: errorBody("queue full"), retryAfter: true}
 	}
 	s.mu.Lock()
 	s.st.Admitted++
@@ -242,15 +343,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	out := <-j.done
 	if out.err != nil {
-		switch {
-		case errors.Is(out.err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, out.err.Error())
-		default:
-			writeError(w, http.StatusInternalServerError, out.err.Error())
+		code := http.StatusInternalServerError
+		if errors.Is(out.err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
 		}
-		return
+		return flightOut{code: code, body: errorBody(out.err.Error())}
 	}
-	writeJSON(w, http.StatusOK, out.result)
+	body, err := json.Marshal(out.result)
+	if err != nil {
+		return flightOut{code: http.StatusInternalServerError, body: errorBody(err.Error())}
+	}
+	return flightOut{code: http.StatusOK, body: body}
+}
+
+// writeOutcome sends a flightOut, attaching the Retry-After hint on
+// backpressure rejections.
+func (s *Server) writeOutcome(w http.ResponseWriter, out flightOut) {
+	if out.retryAfter {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+	}
+	writeRaw(w, out.code, out.body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -284,6 +396,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("queue_depth", st.QueueDepth)
 	put("queue_capacity", s.cfg.QueueCap)
 	put("workers", s.cfg.Workers)
+	if s.results != nil {
+		put("cache_hits_total", st.CacheHits)
+		put("cache_misses_total", st.CacheMisses)
+		put("cache_evictions_total", st.CacheEvictions)
+		put("cache_coalesced_total", st.Coalesced)
+		put("cache_entries", st.CacheEntries)
+		put("cache_capacity", st.CacheCapacity)
+		ratio := 0.0
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			ratio = float64(st.CacheHits) / float64(lookups)
+		}
+		fmt.Fprintf(w, "resilienced_cache_hit_ratio %.9g\n", ratio)
+	}
 	for _, k := range sortedKeys(st.SolveVirtualSec) {
 		fmt.Fprintf(w, "resilienced_solve_virtual_seconds_total{scheme=%q} %.9g\n", k, st.SolveVirtualSec[k])
 	}
@@ -313,8 +438,27 @@ func retryAfterSeconds(d time.Duration) int {
 	return n
 }
 
+// errorBody renders the canonical error payload as bytes (the same
+// bytes writeError produces), so flight outcomes fan out byte-identical
+// errors too.
+func errorBody(msg string) []byte {
+	body, err := json.Marshal(map[string]string{"error": msg})
+	if err != nil {
+		return []byte(`{"error":"internal"}`)
+	}
+	return body
+}
+
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+	writeRaw(w, code, errorBody(msg))
+}
+
+// writeRaw sends pre-marshaled JSON bytes untouched — cache hits and
+// coalesced fan-outs must reproduce the original body exactly.
+func writeRaw(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
 }
 
 // writeJSON marshals v in one shot (no Encoder trailing newline) so the
@@ -326,7 +470,5 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	w.Write(body)
+	writeRaw(w, code, body)
 }

@@ -51,35 +51,59 @@ func TestSolveMatchesOfflineOracle(t *testing.T) {
 		t.Fatalf("oracle scenario exercised no recovery: %+v", oracleRes)
 	}
 
-	for _, workers := range []int{1, 4} {
-		srv := New(Config{Workers: workers, QueueCap: 16})
-		ts := httptest.NewServer(srv)
-		var wg sync.WaitGroup
-		for i := 0; i < 6; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				code, got, _ := post(t, ts, req)
-				if code != http.StatusOK {
-					t.Errorf("workers=%d: status %d: %s", workers, code, got)
-					return
+	// With the result cache disabled every request executes: the raw
+	// worker-pool path still answers byte-identically at any worker
+	// count. With the cache enabled (the default) the six identical
+	// requests collapse to at least one execution — hits, coalesced
+	// joins, and misses must all serve the same oracle bytes.
+	for _, cacheCap := range []int{-1, 0} {
+		for _, workers := range []int{1, 4} {
+			srv := New(Config{Workers: workers, QueueCap: 16, CacheCap: cacheCap})
+			ts := httptest.NewServer(srv)
+			var wg sync.WaitGroup
+			for i := 0; i < 6; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					code, got, _ := post(t, ts, req)
+					if code != http.StatusOK {
+						t.Errorf("workers=%d: status %d: %s", workers, code, got)
+						return
+					}
+					if !bytes.Equal(got, oracle) {
+						t.Errorf("workers=%d: response differs from oracle\n got: %s\nwant: %s", workers, got, oracle)
+					}
+				}()
+			}
+			wg.Wait()
+			ts.Close()
+			if err := srv.Shutdown(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			st := srv.Stats()
+			if st.Failed != 0 {
+				t.Fatalf("workers=%d: stats %+v", workers, st)
+			}
+			if cacheCap < 0 {
+				if st.Admitted != 6 || st.Completed != 6 {
+					t.Fatalf("workers=%d uncached: stats %+v", workers, st)
 				}
-				if !bytes.Equal(got, oracle) {
-					t.Errorf("workers=%d: response differs from oracle\n got: %s\nwant: %s", workers, got, oracle)
+			} else {
+				if st.CacheHits+st.CacheMisses != 6 {
+					t.Fatalf("workers=%d cached: lookups %d+%d != 6", workers, st.CacheHits, st.CacheMisses)
 				}
-			}()
-		}
-		wg.Wait()
-		ts.Close()
-		if err := srv.Shutdown(context.Background()); err != nil {
-			t.Fatal(err)
-		}
-		st := srv.Stats()
-		if st.Admitted != 6 || st.Completed != 6 || st.Failed != 0 {
-			t.Fatalf("workers=%d: stats %+v", workers, st)
-		}
-		if st.Ranks.MsgsSent == 0 || st.Ranks.Flops == 0 {
-			t.Fatalf("workers=%d: rank counters not folded: %+v", workers, st.Ranks)
+				// Every miss either led a flight (and was admitted) or
+				// joined one; dedup never loses or invents executions.
+				if st.Admitted != st.CacheMisses-st.Coalesced || st.Admitted < 1 {
+					t.Fatalf("workers=%d cached: stats %+v", workers, st)
+				}
+				if st.Completed != st.Admitted {
+					t.Fatalf("workers=%d cached: completed %d != admitted %d", workers, st.Completed, st.Admitted)
+				}
+			}
+			if st.Ranks.MsgsSent == 0 || st.Ranks.Flops == 0 {
+				t.Fatalf("workers=%d: rank counters not folded: %+v", workers, st.Ranks)
+			}
 		}
 	}
 }

@@ -29,6 +29,7 @@ go run -race ./cmd/chaos -n 50 -seed 1
 go test -run '^$' -fuzz '^FuzzCSRMulVec$' -fuzztime 5s ./internal/sparse
 go test -run '^$' -fuzz '^FuzzPartition$' -fuzztime 5s ./internal/sparse
 go test -run '^$' -fuzz '^FuzzScenarioArgs$' -fuzztime 5s ./internal/chaos
+go test -run '^$' -fuzz '^FuzzCanonicalKey$' -fuzztime 5s ./internal/service
 
 # The hot path must stay allocation-free with no recorder attached
 # (attaching one may allocate for span storage; that variant is measured
@@ -36,28 +37,67 @@ go test -run '^$' -fuzz '^FuzzScenarioArgs$' -fuzztime 5s ./internal/chaos
 go test -run '^$' -bench '^BenchmarkCGIteration$' -benchmem -benchtime 2000x . |
     grep '^BenchmarkCGIteration[^O]' | grep -q ' 0 allocs/op'
 
-# Service gate: boot resilienced deliberately small (2 workers, 2 queue
-# slots), flood it with a sleep-job burst that must hit queue-full (429 +
-# Retry-After, retried to completion), then replay a seeded scenario
-# stream whose responses must be byte-identical to the offline oracle;
-# finish with a SIGTERM drain that must exit clean.
+# The cache serving hot paths (hit, miss, single-flight join) run once
+# per request on the daemon and must also stay allocation-free.
+go test -run '^$' -bench '^BenchmarkCacheGetHit$|^BenchmarkCacheGetMiss$|^BenchmarkSingleflightJoin$' \
+    -benchmem -benchtime 2000x ./internal/service/cache |
+    awk '/^Benchmark/ { if ($(NF-1) != 0) { print "ALLOCATING HOT PATH: " $0; bad = 1 } found++ }
+         END { exit (bad || found != 3) }'
+
+# Fabric gate: boot a full solve topology — one resilience-router over
+# two deliberately small resilienced replicas — then drive three phases
+# through the router: a sleep-job burst that must hit queue-full (429 +
+# Retry-After forwarded, retried to completion), a seeded scenario
+# stream whose responses must be byte-identical to the offline oracle,
+# and a duplicate-heavy zipf stream (20k requests over 96 unique jobs)
+# that must clear a 50% fleet cache hit rate with every response still
+# byte-identical. Finish with a SIGTERM drain of all three processes,
+# each of which must exit clean.
 svc_dir=$(mktemp -d)
 go build -o "$svc_dir/resilienced" ./cmd/resilienced
+go build -o "$svc_dir/resilience-router" ./cmd/resilience-router
 go build -o "$svc_dir/resilience-load" ./cmd/resilience-load
+
+wait_addr() {
+    addr=''
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's#.*listening on http://\([^ ]*\).*#\1#p' "$1" | head -n 1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    test -n "$addr"
+    echo "$addr"
+}
+
 "$svc_dir/resilienced" -addr 127.0.0.1:0 -workers 2 -queue 2 -retry-after 1s \
-    > "$svc_dir/resilienced.log" 2>&1 &
-svc_pid=$!
-svc_addr=''
-for _ in $(seq 1 100); do
-    svc_addr=$(sed -n 's#.*listening on http://\([^ ]*\).*#\1#p' "$svc_dir/resilienced.log")
-    [ -n "$svc_addr" ] && break
-    sleep 0.1
-done
-test -n "$svc_addr"
-"$svc_dir/resilience-load" -addr "http://$svc_addr" -n 16 -c 8 -seed 1 -burst 8 -sleep-ms 200
-kill -TERM "$svc_pid"
-wait "$svc_pid"
-grep -q 'drained clean' "$svc_dir/resilienced.log"
+    > "$svc_dir/replica1.log" 2>&1 &
+rep1_pid=$!
+"$svc_dir/resilienced" -addr 127.0.0.1:0 -workers 2 -queue 2 -retry-after 1s \
+    > "$svc_dir/replica2.log" 2>&1 &
+rep2_pid=$!
+rep1_addr=$(wait_addr "$svc_dir/replica1.log")
+rep2_addr=$(wait_addr "$svc_dir/replica2.log")
+
+"$svc_dir/resilience-router" -addr 127.0.0.1:0 \
+    -replicas "http://$rep1_addr,http://$rep2_addr" -health-every 500ms \
+    > "$svc_dir/router.log" 2>&1 &
+router_pid=$!
+router_addr=$(wait_addr "$svc_dir/router.log")
+
+"$svc_dir/resilience-load" -addr "http://$router_addr" -n 16 -c 8 -seed 1 \
+    -burst 16 -sleep-ms 200 \
+    -dup-jobs 20000 -dup-unique 96 -dup-zipf 1.2 -min-hit-rate 0.5
+
+# The router's fleet-aggregate hit counter must have moved.
+curl -s "http://$router_addr/metrics" |
+    awk '/^resilience_router_cache_hits_total / { found = ($2 > 0) } END { exit found ? 0 : 1 }' ||
+    { echo "router reported no cache hits"; exit 1; }
+
+kill -TERM "$router_pid" "$rep1_pid" "$rep2_pid"
+wait "$router_pid" "$rep1_pid" "$rep2_pid"
+grep -q 'drained clean' "$svc_dir/router.log"
+grep -q 'drained clean' "$svc_dir/replica1.log"
+grep -q 'drained clean' "$svc_dir/replica2.log"
 rm -rf "$svc_dir"
 
 # Perf trajectory: fail on ns/op, allocs/op or bytes/op regressions
