@@ -49,27 +49,36 @@ type Record struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// File is the on-disk result set.
+// File is the on-disk result set. NumCPU/GoMaxProcs distinguish 1-CPU
+// container numbers from multicore runs when diffing trajectories (the
+// goroutine scheduler's contention profile differs sharply between
+// them); GitDirty flags numbers measured against uncommitted code.
 type File struct {
-	Schema      string            `json:"schema"`
-	CreatedUnix int64             `json:"created_unix"`
-	GoMaxProcs  int               `json:"go_maxprocs"`
-	GitRevision string            `json:"git_revision,omitempty"`
-	Benchmarks  map[string]Record `json:"benchmarks"`
+	Schema      string `json:"schema"`
+	CreatedUnix int64  `json:"created_unix"`
+	NumCPU      int    `json:"num_cpu"`
+	GoMaxProcs  int    `json:"go_maxprocs"`
+	GitRevision string `json:"git_revision,omitempty"`
+	GitDirty    bool   `json:"git_dirty,omitempty"`
+	// E2EFig3Seconds is the wall-clock of one fig3 end-to-end run at the
+	// given scale, per scheduler mode ("goroutine", "coop"); min of 3.
+	E2EFig3Seconds map[string]float64 `json:"e2e_fig3_seconds,omitempty"`
+	E2EFig3Scale   string             `json:"e2e_fig3_scale,omitempty"`
+	Benchmarks     map[string]Record  `json:"benchmarks"`
 }
 
-// gitRevision returns the current commit hash (with a "-dirty" suffix for
-// a modified tree), or "" when git or the repository is unavailable.
-func gitRevision() string {
+// gitRevision returns the current commit hash plus whether the tree has
+// uncommitted changes ("" and false when git is unavailable).
+func gitRevision() (rev string, dirty bool) {
 	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
 	if err != nil {
-		return ""
+		return "", false
 	}
-	rev := strings.TrimSpace(string(out))
+	rev = strings.TrimSpace(string(out))
 	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(bytes.TrimSpace(st)) > 0 {
-		rev += "-dirty"
+		dirty = true
 	}
-	return rev
+	return rev, dirty
 }
 
 // Regression is one baseline comparison that exceeded the threshold.
@@ -296,6 +305,36 @@ func kernelSuite() []namedBench {
 				}
 			}
 		}},
+		// ClusterStep is the scheduler acceptance benchmark: one
+		// bidirectional ring halo exchange plus a scalar allreduce per op
+		// at p=16 — the communication skeleton of a distributed CG
+		// iteration with the numerics stripped out, so the goroutine/coop
+		// pair isolates pure scheduling overhead.
+		{"ClusterStep/p16-goroutine", func(b *testing.B) {
+			benchClusterStep(b, cluster.SchedGoroutine, 16)
+		}},
+		{"ClusterStep/p16-coop", func(b *testing.B) {
+			benchClusterStep(b, cluster.SchedCoop, 16)
+		}},
+		{"CollectiveBarrier/p16-goroutine", func(b *testing.B) {
+			benchBarrier(b, cluster.SchedGoroutine, 16)
+		}},
+		{"CollectiveBarrier/p16-coop", func(b *testing.B) {
+			benchBarrier(b, cluster.SchedCoop, 16)
+		}},
+		// SpMVBlocked mirrors the CSR SpMV rows with the SELL-C-σ layout
+		// so a diff of the paired rows reads as blocked-vs-CSR on the
+		// same matrix (bitwise-identical products by construction). The
+		// g64 pair is the ci solve size; g128 is the stress size.
+		{"SpMV/Laplacian2D-64", func(b *testing.B) {
+			benchSpMV(b, 64, false)
+		}},
+		{"SpMVBlocked/Laplacian2D-64", func(b *testing.B) {
+			benchSpMV(b, 64, true)
+		}},
+		{"SpMVBlocked/Laplacian2D-128", func(b *testing.B) {
+			benchSpMV(b, 128, true)
+		}},
 		{"CGIteration/p4-g32", func(b *testing.B) {
 			a := resilience.Laplacian2D(32)
 			rhs, _ := resilience.RHS(a)
@@ -367,6 +406,98 @@ func benchMulVecDist(b *testing.B, overlap bool) {
 	}
 }
 
+// benchSpMV measures one SpMV on a grid×grid 5-point stencil in the CSR
+// or SELL-C-σ layout.
+func benchSpMV(b *testing.B, grid int, blocked bool) {
+	a := resilience.Laplacian2D(grid)
+	var s *sparse.SELL
+	if blocked {
+		s = sparse.NewSELLFromCSR(a, sparse.DefaultSELLC, sparse.DefaultSELLSigma)
+	}
+	x, y := make([]float64, a.Rows), make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 31)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blocked {
+			s.MulVec(y, x)
+		} else {
+			a.MulVec(y, x)
+		}
+	}
+}
+
+// benchClusterStep drives p ranks through a bidirectional ring exchange
+// (8-float payloads) followed by a scalar allreduce, under an explicit
+// scheduler mode.
+func benchClusterStep(b *testing.B, mode cluster.SchedMode, p int) {
+	b.ReportAllocs()
+	rt := cluster.NewRuntimeOpts(p, platform.Default(), power.NewMeter(false), cluster.Options{Sched: mode})
+	b.ResetTimer()
+	_, err := rt.Run(func(c *cluster.Comm) error {
+		next, prev := (c.Rank()+1)%p, (c.Rank()+p-1)%p
+		buf := make([]float64, 8)
+		got := make([]float64, 8)
+		for i := range buf {
+			buf[i] = float64(c.Rank()) + float64(i)/8
+		}
+		for i := 0; i < b.N; i++ {
+			c.Send(next, 1, buf)
+			c.RecvInto(prev, 1, got)
+			c.Send(prev, 2, buf)
+			c.RecvInto(next, 2, got)
+			c.AllreduceScalarSum(got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchBarrier measures one full barrier across p ranks per op.
+func benchBarrier(b *testing.B, mode cluster.SchedMode, p int) {
+	b.ReportAllocs()
+	rt := cluster.NewRuntimeOpts(p, platform.Default(), power.NewMeter(false), cluster.Options{Sched: mode})
+	b.ResetTimer()
+	_, err := rt.Run(func(c *cluster.Comm) error {
+		for i := 0; i < b.N; i++ {
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// measureE2E times the fig3 experiment end to end under each scheduler
+// mode (min of 3 runs apiece) — the headline wall-clock number, as
+// opposed to the microbenchmarks' per-op costs.
+func measureE2E(scale string) map[string]float64 {
+	out := make(map[string]float64, 2)
+	for _, mode := range []resilience.SchedMode{cluster.SchedGoroutine, cluster.SchedCoop} {
+		name := mode.String()
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := resilience.RunExperimentOpts("fig3", scale,
+				resilience.ExperimentOptions{Sched: mode}); err != nil {
+				fmt.Fprintf(os.Stderr, "e2e fig3 sched=%s: %v\n", name, err)
+				return nil
+			}
+			if d := time.Since(start).Seconds(); best == 0 || d < best {
+				best = d
+			}
+		}
+		fmt.Fprintf(os.Stderr, "e2e fig3@%s sched=%-9s %8.3fs (min of 3)\n", scale, name, best)
+		out[name] = best
+	}
+	return out
+}
+
 // sink defeats dead-code elimination of pure kernels.
 var sink float64
 
@@ -406,13 +537,21 @@ func readBaseline(path string) (*File, error) {
 	return &f, nil
 }
 
-func writeResults(path string, recs map[string]Record) error {
+func writeResults(path string, recs map[string]Record, e2e map[string]float64, e2eScale string) error {
+	rev, dirty := gitRevision()
 	f := File{
-		Schema:      Schema,
-		CreatedUnix: time.Now().Unix(),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		GitRevision: gitRevision(),
-		Benchmarks:  recs,
+		Schema:         Schema,
+		CreatedUnix:    time.Now().Unix(),
+		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GitRevision:    rev,
+		GitDirty:       dirty,
+		E2EFig3Seconds: e2e,
+		E2EFig3Scale:   e2eScale,
+		Benchmarks:     recs,
+	}
+	if e2e == nil {
+		f.E2EFig3Scale = ""
 	}
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
@@ -429,6 +568,8 @@ func main() {
 	filter := flag.String("filter", "", "only run benchmarks whose name contains this substring")
 	scale := flag.String("scale", "tiny", "workload scale for -artifacts runs: tiny, ci or paper")
 	artifacts := flag.Bool("artifacts", false, "also benchmark the paper-artifact experiment runners")
+	e2e := flag.Bool("e2e", true, "record the fig3 end-to-end wall-clock per scheduler mode in the result metadata")
+	e2eScale := flag.String("e2e-scale", "ci", "workload scale of the -e2e measurement")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	flag.Parse()
 
@@ -465,8 +606,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no benchmarks match filter %q\n", *filter)
 		os.Exit(2)
 	}
+	var e2eSecs map[string]float64
+	if *e2e && *out != "" && *filter == "" {
+		e2eSecs = measureE2E(*e2eScale)
+	}
 	if *out != "" {
-		if err := writeResults(*out, recs); err != nil {
+		if err := writeResults(*out, recs, e2eSecs, *e2eScale); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
 			os.Exit(2)
 		}

@@ -71,8 +71,9 @@ func TestJSONRoundTrip(t *testing.T) {
 		"SpMV/Laplacian2D-128": {NsPerOp: 136197.25, AllocsPerOp: 0, BytesPerOp: 0},
 		"CGIteration/p4-g32":   {NsPerOp: 18649, AllocsPerOp: 0, BytesPerOp: 4},
 	}
+	e2e := map[string]float64{"goroutine": 1.25, "coop": 0.75}
 	path := filepath.Join(t.TempDir(), "BENCH_1.json")
-	if err := writeResults(path, recs); err != nil {
+	if err := writeResults(path, recs, e2e, "ci"); err != nil {
 		t.Fatal(err)
 	}
 	f, err := readBaseline(path)
@@ -82,8 +83,11 @@ func TestJSONRoundTrip(t *testing.T) {
 	if f.Schema != Schema {
 		t.Errorf("schema = %q, want %q", f.Schema, Schema)
 	}
-	if f.GoMaxProcs < 1 || f.CreatedUnix == 0 {
+	if f.GoMaxProcs < 1 || f.NumCPU < 1 || f.CreatedUnix == 0 {
 		t.Errorf("metadata not populated: %+v", f)
+	}
+	if !reflect.DeepEqual(f.E2EFig3Seconds, e2e) || f.E2EFig3Scale != "ci" {
+		t.Errorf("e2e metadata mismatch: %+v scale=%q", f.E2EFig3Seconds, f.E2EFig3Scale)
 	}
 	if !reflect.DeepEqual(f.Benchmarks, recs) {
 		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", f.Benchmarks, recs)

@@ -64,32 +64,73 @@ func newCollectiveState(p int, rt *Runtime) *collectiveState {
 	return cs
 }
 
+// lock/unlock guard the collective state in goroutine mode; under the
+// cooperative scheduler exactly one rank runs at a time, so they are
+// no-ops there (token handoff supplies the happens-before edges).
+func (cs *collectiveState) lock() {
+	if cs.rt.sched == nil {
+		cs.mu.Lock()
+	}
+}
+
+func (cs *collectiveState) unlock() {
+	if cs.rt.sched == nil {
+		cs.mu.Unlock()
+	}
+}
+
+// wake publishes a completed generation: broadcast in goroutine mode
+// (every waiter re-locks and re-checks), an exact wake of the parked
+// generation waiters in cooperative mode.
+func (cs *collectiveState) wake() {
+	if s := cs.rt.sched; s != nil {
+		s.wakeColl()
+		return
+	}
+	cs.cond.Broadcast()
+}
+
+// waitFor blocks the rank until the generation it contributed to may
+// have completed: cond.Wait in goroutine mode, a scheduler park in
+// cooperative mode. Either way the caller re-checks its predicate on
+// return.
+func (cs *collectiveState) waitFor(rank int) {
+	if s := cs.rt.sched; s != nil {
+		s.parkColl(rank)
+		return
+	}
+	cs.cond.Wait()
+}
+
 // checkStuck reports (and aborts on) a deadlocked collective: a rank that
 // has not contributed to the in-flight generation but whose function has
 // already exited can never arrive, so the waiters would block forever.
-// Called with cs.mu held; it temporarily releases the lock to abort the
-// runtime (abort re-acquires it) and reports true so the caller re-checks
-// cs.dead instead of going to sleep past its own wake-up.
+// Called with the state locked; it temporarily releases the lock to abort
+// the runtime (abort re-acquires it) and reports true so the caller
+// re-checks cs.dead instead of going to sleep past its own wake-up.
 func (cs *collectiveState) checkStuck(rank int) bool {
-	cs.rt.exitMu.Lock()
 	var missing []int
-	for r, ex := range cs.rt.exited {
-		if ex && !cs.arrived[r] {
+	for r := 0; r < cs.p; r++ {
+		if cs.rt.isExited(r) && !cs.arrived[r] {
 			missing = append(missing, r)
 		}
 	}
-	cs.rt.exitMu.Unlock()
 	if len(missing) == 0 {
 		return false
 	}
 	err := fmt.Errorf("cluster: deadlock: rank %d blocked in a collective that rank(s) %v exited without joining (mismatched collective participation)", rank, missing)
-	cs.mu.Unlock()
+	cs.unlock()
 	cs.rt.abort(err)
-	cs.mu.Lock()
+	cs.lock()
 	return true
 }
 
 func (cs *collectiveState) abort() {
+	if s := cs.rt.sched; s != nil {
+		cs.dead = true
+		s.wakeAll()
+		return
+	}
 	cs.mu.Lock()
 	cs.dead = true
 	cs.mu.Unlock()
@@ -105,8 +146,8 @@ func (cs *collectiveState) abort() {
 func (cs *collectiveState) enter(rank int, clock float64, contribution any,
 	combine func(all []any) any) (value any, tmax float64) {
 
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+	cs.lock()
+	defer cs.unlock()
 	if cs.dead {
 		panic(abortPanic{err: fmt.Errorf("cluster: collective on aborted runtime")})
 	}
@@ -129,13 +170,13 @@ func (cs *collectiveState) enter(rank int, clock float64, contribution any,
 		}
 		cs.count = 0
 		cs.gen++
-		cs.cond.Broadcast()
+		cs.wake()
 	} else {
 		for cs.gen == myGen && !cs.dead {
 			if cs.checkStuck(rank) {
 				continue // our own abort set cs.dead; re-evaluate, don't sleep
 			}
-			cs.cond.Wait()
+			cs.waitFor(rank)
 		}
 		if cs.dead {
 			panic(abortPanic{err: fmt.Errorf("cluster: collective on aborted runtime")})
@@ -154,8 +195,8 @@ func (cs *collectiveState) enter(rank int, clock float64, contribution any,
 // the boxed path, so scalar and vector collectives can interleave freely.
 // Summation runs in rank order, bitwise-identical to AllreduceSum.
 func (cs *collectiveState) enterScalar(rank int, clock, v0, v1 float64) (r0, r1, tmax float64) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+	cs.lock()
+	defer cs.unlock()
 	if cs.dead {
 		panic(abortPanic{err: fmt.Errorf("cluster: collective on aborted runtime")})
 	}
@@ -184,13 +225,13 @@ func (cs *collectiveState) enterScalar(rank int, clock, v0, v1 float64) (r0, r1,
 		}
 		cs.count = 0
 		cs.gen++
-		cs.cond.Broadcast()
+		cs.wake()
 	} else {
 		for cs.gen == myGen && !cs.dead {
 			if cs.checkStuck(rank) {
 				continue // our own abort set cs.dead; re-evaluate, don't sleep
 			}
-			cs.cond.Wait()
+			cs.waitFor(rank)
 		}
 		if cs.dead {
 			panic(abortPanic{err: fmt.Errorf("cluster: collective on aborted runtime")})
@@ -218,9 +259,20 @@ func (c *Comm) collect(bytesPerStage int64, contribution any, combine func(all [
 	return value
 }
 
-// Barrier synchronizes all ranks (clsocks included).
+// Barrier synchronizes all ranks (clocks included). It rides the
+// allocation-free scalar collective path with a discarded zero
+// contribution; the modeled cost is the same 8-byte stage the boxed path
+// charged, so virtual times are unchanged.
 func (c *Comm) Barrier() {
-	c.collect(8, nil, func([]any) any { return nil })
+	c.checkAbort()
+	_, _, tmax := c.rt.coll.enterScalar(c.rank, c.clock, 0, 0)
+	c.advanceTo(tmax, obs.SpanWait)
+	cost := c.rt.plat.CollectiveTime(8, c.rt.p)
+	if c.obs != nil {
+		c.obs.Span(obs.SpanCollective, c.clock, cost)
+		c.obs.AddCollective()
+	}
+	c.ElapseActive(cost)
 }
 
 // AllreduceSum element-wise sums vals across ranks. All ranks receive the

@@ -13,14 +13,23 @@ import (
 // RecvInto returns it after copying out, so a steady-state halo exchange
 // performs no allocations.
 type mailbox struct {
+	rt     *Runtime
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[mkey][]message
+	queues map[mkey]*msgQueue
 	pool   sync.Pool // of *payload
 	dead   bool
 }
 
 type mkey struct{ from, to, tag int }
+
+// msgQueue is one (from, to, tag) channel's FIFO. Queues are looked up
+// once per post/dequeue and then mutated through the pointer, so the
+// steady-state halo exchange pays one map access per message end, not
+// one per touch.
+type msgQueue struct {
+	msgs []message
+}
 
 type message struct {
 	pl     *payload
@@ -34,10 +43,58 @@ type payload struct {
 	data []float64
 }
 
-func newMailbox(*Runtime) *mailbox {
-	mb := &mailbox{queues: make(map[mkey][]message)}
+func newMailbox(rt *Runtime) *mailbox {
+	mb := &mailbox{rt: rt, queues: make(map[mkey]*msgQueue)}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
+}
+
+// queue returns (creating if needed) the FIFO for k. Callers must hold
+// the mailbox locked (goroutine mode) or the scheduling token (coop).
+func (mb *mailbox) queue(k mkey) *msgQueue {
+	q := mb.queues[k]
+	if q == nil {
+		q = &msgQueue{}
+		mb.queues[k] = q
+	}
+	return q
+}
+
+// lock/unlock guard the mailbox in goroutine mode; no-ops under the
+// cooperative scheduler, where exactly one rank runs at a time.
+func (mb *mailbox) lock() {
+	if mb.rt.sched == nil {
+		mb.mu.Lock()
+	}
+}
+
+func (mb *mailbox) unlock() {
+	if mb.rt.sched == nil {
+		mb.mu.Unlock()
+	}
+}
+
+// wake publishes a newly queued message on k: broadcast in goroutine
+// mode (every blocked receiver wakes, re-locks and re-checks its own
+// queue), an exact wake of k's receiver — one bit test — in cooperative
+// mode.
+func (mb *mailbox) wake(k mkey) {
+	if s := mb.rt.sched; s != nil {
+		s.wakeMail(k)
+		return
+	}
+	mb.cond.Broadcast()
+}
+
+// waitFor blocks the rank until a message may be queued on k: cond.Wait
+// in goroutine mode, a scheduler park in cooperative mode. Either way
+// the caller re-checks the queue on return.
+func (mb *mailbox) waitFor(rank int, k mkey) {
+	if s := mb.rt.sched; s != nil {
+		s.parkMail(rank, k)
+		return
+	}
+	mb.cond.Wait()
 }
 
 func (mb *mailbox) getPayload(n int) *payload {
@@ -57,6 +114,11 @@ func (mb *mailbox) putPayload(pl *payload) {
 }
 
 func (mb *mailbox) abort() {
+	if s := mb.rt.sched; s != nil {
+		mb.dead = true
+		s.wakeAll()
+		return
+	}
 	mb.mu.Lock()
 	mb.dead = true
 	mb.mu.Unlock()
@@ -97,11 +159,12 @@ func (c *Comm) post(to, tag int, data []float64, arrive float64) {
 	copy(pl.data, data)
 	msg := message{pl: pl, arrive: arrive}
 
-	mb.mu.Lock()
+	mb.lock()
 	k := mkey{from: c.rank, to: to, tag: tag}
-	mb.queues[k] = append(mb.queues[k], msg)
-	mb.mu.Unlock()
-	mb.cond.Broadcast()
+	q := mb.queue(k)
+	q.msgs = append(q.msgs, msg)
+	mb.unlock()
+	mb.wake(k)
 }
 
 // SendReq is the completion handle returned by ISend.
@@ -204,30 +267,31 @@ func (c *Comm) dequeue(from, tag int) message {
 	}
 	mb := c.rt.mail
 	k := mkey{from: from, to: c.rank, tag: tag}
-	mb.mu.Lock()
-	for len(mb.queues[k]) == 0 && !mb.dead {
+	mb.lock()
+	mq := mb.queue(k)
+	for len(mq.msgs) == 0 && !mb.dead {
 		// Deadlock check: an exited sender can never post the message we
 		// are waiting for. Abort with a diagnostic instead of hanging; the
-		// abort sets mb.dead, so continue (not Wait) past our own wake-up.
+		// abort sets mb.dead, so continue (not wait) past our own wake-up.
 		if c.rt.isExited(from) {
 			err := fmt.Errorf("cluster: deadlock: rank %d blocked receiving from rank %d (tag %d), which exited without sending", c.rank, from, tag)
-			mb.mu.Unlock()
+			mb.unlock()
 			c.rt.abort(err)
-			mb.mu.Lock()
+			mb.lock()
 			continue
 		}
-		mb.cond.Wait()
+		mb.waitFor(c.rank, k)
 	}
 	if mb.dead {
-		mb.mu.Unlock()
+		mb.unlock()
 		panic(abortPanic{err: fmt.Errorf("cluster: recv on aborted runtime")})
 	}
-	q := mb.queues[k]
+	q := mq.msgs
 	msg := q[0]
 	n := copy(q, q[1:])
 	q[n] = message{}
-	mb.queues[k] = q[:n]
-	mb.mu.Unlock()
+	mq.msgs = q[:n]
+	mb.unlock()
 	return msg
 }
 

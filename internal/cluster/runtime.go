@@ -21,16 +21,89 @@
 // relies on this to explain why plain LI only drops node power to ~0.75×.
 // Recovery code switches waiting ranks to idle/sleep accounting (and
 // optionally a lower frequency) through SetWaitIdle and SetFreq.
+//
+// Execution modes: the runtime can step its ranks in one of two ways
+// (see SchedMode). Both produce bitwise-identical clocks, energy,
+// traces and solutions, because every result is derived from virtual
+// time and rank-ordered reductions, never from host scheduling order.
 package cluster
 
 import (
 	"fmt"
+	"os"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"resilience/internal/obs"
 	"resilience/internal/platform"
 	"resilience/internal/power"
 )
+
+// SchedMode selects how the runtime steps its ranks.
+type SchedMode int
+
+const (
+	// SchedAuto resolves the mode from the RES_SCHED environment
+	// variable ("coop" for the cooperative scheduler, "goroutine" for
+	// the preemptive one) and defaults to SchedGoroutine.
+	SchedAuto SchedMode = iota
+	// SchedGoroutine runs one preemptively-scheduled goroutine per rank
+	// with mutex/cond blocking — the original runtime and the golden
+	// oracle the cooperative mode is pinned against.
+	SchedGoroutine
+	// SchedCoop runs all ranks as run-to-block coroutines stepped by a
+	// deterministic cooperative scheduler: exactly one rank executes at
+	// a time, until it blocks on a receive or a collective, and the
+	// scheduler then resumes the next runnable rank in rank order. No
+	// mutexes, no condition-variable broadcasts, no spurious wake-ups.
+	SchedCoop
+)
+
+func (m SchedMode) String() string {
+	switch m {
+	case SchedAuto:
+		return "auto"
+	case SchedGoroutine:
+		return "goroutine"
+	case SchedCoop:
+		return "coop"
+	}
+	return fmt.Sprintf("SchedMode(%d)", int(m))
+}
+
+// ParseSched parses a scheduler mode name as the CLIs spell it: "" or
+// "auto" (defer to RES_SCHED), "goroutine", or "coop"/"cooperative"/
+// "coroutine".
+func ParseSched(s string) (SchedMode, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return SchedAuto, nil
+	case "goroutine":
+		return SchedGoroutine, nil
+	case "coop", "cooperative", "coroutine":
+		return SchedCoop, nil
+	}
+	return SchedAuto, fmt.Errorf("cluster: unknown scheduler mode %q (want auto, goroutine or coop)", s)
+}
+
+// schedFromEnv resolves SchedAuto against the RES_SCHED environment
+// variable. Unrecognized values fall back to the goroutine oracle so a
+// typo can never silently change which engine produced a result set.
+func schedFromEnv() SchedMode {
+	switch strings.ToLower(os.Getenv("RES_SCHED")) {
+	case "coop", "cooperative", "coroutine":
+		return SchedCoop
+	}
+	return SchedGoroutine
+}
+
+// Options configures a Runtime beyond its rank count and platform.
+type Options struct {
+	// Sched selects the execution mode; SchedAuto (the zero value)
+	// resolves RES_SCHED.
+	Sched SchedMode
+}
 
 // Runtime couples P ranks to a platform and a meter for one parallel run.
 type Runtime struct {
@@ -42,40 +115,85 @@ type Runtime struct {
 	coll *collectiveState
 	mail *mailbox
 
-	abortMu  sync.Mutex
-	abortErr error
+	// sched is non-nil iff the runtime runs in cooperative mode. The
+	// wait/wake sites in collectives.go and p2p.go branch on it: nil
+	// means mutex/cond blocking, non-nil means park in the scheduler.
+	sched *coopSched
 
-	// exited marks ranks whose function has returned. A rank blocked on a
-	// collective or a receive that an exited rank can no longer satisfy is
-	// deadlocked; the waiters detect this and abort with a diagnostic
-	// instead of hanging the run (and the test suite) forever.
-	exitMu sync.Mutex
-	exited []bool
+	// abortFlag is the hot-path view of "has any rank failed": checkAbort
+	// runs before every operation, so it reads one atomic instead of
+	// serializing all ranks on abortMu. The mutex still orders the error.
+	abortFlag atomic.Bool
+	abortMu   sync.Mutex
+	abortErr  error
+
+	// exited is an atomic bitset of ranks whose function has returned. A
+	// rank blocked on a collective or a receive that an exited rank can
+	// no longer satisfy is deadlocked; the waiters detect this and abort
+	// with a diagnostic instead of hanging the run (and the test suite)
+	// forever. A bitset (vs. the former mutex-guarded []bool) keeps the
+	// per-receive deadlock probe lock-free.
+	exited []atomic.Uint64
 }
 
 // abortPanic is the sentinel carried by panics raised when the run has
 // been aborted by another rank's failure.
 type abortPanic struct{ err error }
 
-// NewRuntime builds a runtime for p ranks.
+// NewRuntime builds a runtime for p ranks in the default (auto) mode.
 func NewRuntime(p int, plat *platform.Platform, meter *power.Meter) *Runtime {
+	return NewRuntimeOpts(p, plat, meter, Options{})
+}
+
+// NewRuntimeOpts builds a runtime for p ranks with explicit options.
+func NewRuntimeOpts(p int, plat *platform.Platform, meter *power.Meter, opts Options) *Runtime {
 	if p <= 0 {
 		panic(fmt.Sprintf("cluster: invalid rank count %d", p))
 	}
-	rt := &Runtime{p: p, plat: plat, meter: meter, exited: make([]bool, p)}
+	rt := &Runtime{p: p, plat: plat, meter: meter,
+		exited: make([]atomic.Uint64, (p+63)/64)}
+	// Pre-size the meter's per-core table so every clock advance takes the
+	// meter's lock-free single-writer path (core id = rank).
+	meter.Reserve(p)
 	rt.coll = newCollectiveState(p, rt)
 	rt.mail = newMailbox(rt)
+	mode := opts.Sched
+	if mode == SchedAuto {
+		mode = schedFromEnv()
+	}
+	if mode == SchedCoop {
+		rt.sched = newCoopSched(rt)
+	}
 	return rt
 }
 
+// Sched reports the resolved execution mode.
+func (rt *Runtime) Sched() SchedMode {
+	if rt.sched != nil {
+		return SchedCoop
+	}
+	return SchedGoroutine
+}
+
 // markExited records that a rank's function returned and wakes every
-// blocked waiter so it can re-run its deadlock check. Each wait mutex is
-// taken (and released) before its broadcast so a waiter cannot evaluate
-// the check and go to sleep across the transition.
+// blocked waiter so it can re-run its deadlock check. In goroutine mode
+// each wait mutex is taken (and released) before its broadcast so a
+// waiter cannot evaluate the check and go to sleep across the
+// transition; in cooperative mode the scheduler's progress note plays
+// the same role (parked ranks re-check when next stepped).
 func (rt *Runtime) markExited(rank int) {
-	rt.exitMu.Lock()
-	rt.exited[rank] = true
-	rt.exitMu.Unlock()
+	w := &rt.exited[rank>>6]
+	bit := uint64(1) << (uint(rank) & 63)
+	for {
+		old := w.Load()
+		if w.CompareAndSwap(old, old|bit) {
+			break
+		}
+	}
+	if rt.sched != nil {
+		rt.sched.noteProgress()
+		return
+	}
 	rt.coll.mu.Lock()
 	//lint:ignore SA2001 empty critical section orders the flag before the wake-up
 	rt.coll.mu.Unlock()
@@ -88,9 +206,7 @@ func (rt *Runtime) markExited(rank int) {
 
 // isExited reports whether a rank's function has returned.
 func (rt *Runtime) isExited(rank int) bool {
-	rt.exitMu.Lock()
-	defer rt.exitMu.Unlock()
-	return rt.exited[rank]
+	return rt.exited[rank>>6].Load()&(uint64(1)<<(uint(rank)&63)) != 0
 }
 
 // SetRecorder attaches an observability recorder before Run: every rank's
@@ -104,6 +220,7 @@ func (rt *Runtime) abort(err error) {
 	rt.abortMu.Lock()
 	if rt.abortErr == nil {
 		rt.abortErr = err
+		rt.abortFlag.Store(true)
 	}
 	rt.abortMu.Unlock()
 	rt.coll.abort()
@@ -111,6 +228,9 @@ func (rt *Runtime) abort(err error) {
 }
 
 func (rt *Runtime) aborted() error {
+	if !rt.abortFlag.Load() {
+		return nil
+	}
 	rt.abortMu.Lock()
 	defer rt.abortMu.Unlock()
 	return rt.abortErr
@@ -126,37 +246,44 @@ func Run(p int, plat *platform.Platform, meter *power.Meter, fn func(c *Comm) er
 
 // Run executes fn on every rank of this runtime.
 func (rt *Runtime) Run(fn func(c *Comm) error) (maxClock float64, err error) {
-	var wg sync.WaitGroup
 	clocks := make([]float64, rt.p)
 	errs := make([]error, rt.p)
-	for r := 0; r < rt.p; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			c := newComm(rank, rt)
-			defer func() {
-				clocks[rank] = c.clock
-				rec := recover()
-				// Exit is marked before abort handling so waiters woken by
-				// either path re-evaluate against the final exit set.
-				rt.markExited(rank)
-				if rec != nil {
-					if ap, ok := rec.(abortPanic); ok {
-						errs[rank] = ap.err
-						return
-					}
-					err := fmt.Errorf("cluster: rank %d panicked: %v", rank, rec)
-					errs[rank] = err
-					rt.abort(err)
+	body := func(rank int) {
+		c := newComm(rank, rt)
+		defer func() {
+			clocks[rank] = c.clock
+			rec := recover()
+			// Exit is marked before abort handling so waiters woken by
+			// either path re-evaluate against the final exit set.
+			rt.markExited(rank)
+			if rec != nil {
+				if ap, ok := rec.(abortPanic); ok {
+					errs[rank] = ap.err
+					return
 				}
-			}()
-			if e := fn(c); e != nil {
-				errs[rank] = e
-				rt.abort(e)
+				err := fmt.Errorf("cluster: rank %d panicked: %v", rank, rec)
+				errs[rank] = err
+				rt.abort(err)
 			}
-		}(r)
+		}()
+		if e := fn(c); e != nil {
+			errs[rank] = e
+			rt.abort(e)
+		}
 	}
-	wg.Wait()
+	if rt.sched != nil {
+		rt.sched.run(body)
+	} else {
+		var wg sync.WaitGroup
+		for r := 0; r < rt.p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				body(rank)
+			}(r)
+		}
+		wg.Wait()
+	}
 	for _, c := range clocks {
 		if c > maxClock {
 			maxClock = c

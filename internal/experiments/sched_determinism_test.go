@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"resilience/internal/chaos"
+	"resilience/internal/cluster"
+	"resilience/internal/matgen"
+	"resilience/internal/solver"
+)
+
+// TestSchedulerDeterminismFig3 is the cross-scheduler battery's
+// end-to-end leg: the fig3 experiment (Poisson fault injection with
+// forward recovery) at ci scale must render byte-identical output under
+// the goroutine and cooperative schedulers, with the halo exchange fused
+// and overlapped. This covers clocks, energy, iteration counts and
+// residuals at once — every one feeds the rendered table.
+func TestSchedulerDeterminismFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ci-scale experiment battery")
+	}
+	r, ok := Get("fig3")
+	if !ok {
+		t.Fatal("experiment fig3 not registered")
+	}
+	for _, overlap := range []bool{false, true} {
+		render := func(mode cluster.SchedMode) string {
+			cfg := Default(matgen.CI)
+			cfg.Overlap = overlap
+			cfg.Sched = mode
+			res, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("fig3 sched=%v overlap=%t: %v", mode, overlap, err)
+			}
+			return res.String()
+		}
+		gor := render(cluster.SchedGoroutine)
+		coop := render(cluster.SchedCoop)
+		if gor != coop {
+			t.Errorf("fig3 output differs between schedulers (overlap=%t):\n--- goroutine ---\n%s\n--- coop ---\n%s",
+				overlap, gor, coop)
+		}
+	}
+}
+
+// TestSchedulerDeterminismChaos is the battery's fault leg: a seeded
+// chaos campaign — randomized schemes, overlapping fault injections,
+// recovery and checkpoint/rollback windows — must produce byte-identical
+// report lines (iteration counts, residuals, invariant verdicts) under
+// both schedulers. The campaign resolves the mode from RES_SCHED, so
+// this also exercises the environment path end to end.
+func TestSchedulerDeterminismChaos(t *testing.T) {
+	render := func(mode string) string {
+		t.Setenv("RES_SCHED", mode)
+		var b strings.Builder
+		for _, r := range chaos.RunCampaign(chaos.Options{N: 12, Seed: 99, Workers: 2}) {
+			if r.Failed() {
+				t.Fatalf("RES_SCHED=%s: scenario failed:\n%s", mode, r.Line())
+			}
+			b.WriteString(r.Line())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	gor := render("goroutine")
+	coop := render("coop")
+	if gor != coop {
+		t.Errorf("chaos campaign differs between schedulers:\n--- goroutine ---\n%s\n--- coop ---\n%s", gor, coop)
+	}
+	if !strings.Contains(gor, "faults=") {
+		t.Fatal("campaign report carries no fault counts; the battery exercised nothing")
+	}
+}
+
+// TestSpMVLayoutDeterminism pins the SELL-C-σ kernels at the experiment
+// level: fig5 (the scheme-comparison grid, heavy in reconstruction
+// solves) must render byte-identical tables with the CSR and SELL
+// layouts, fused and overlapped. The layout resolves through the typed
+// Config field; TestSchedResolution-style env precedence is covered in
+// the solver package.
+func TestSpMVLayoutDeterminism(t *testing.T) {
+	r, ok := Get("fig5")
+	if !ok {
+		t.Fatal("experiment fig5 not registered")
+	}
+	for _, overlap := range []bool{false, true} {
+		render := func(layout solver.SpMVLayout) string {
+			cfg := Default(0) // tiny: fig5 at ci is the suite's slowest cell
+			cfg.Overlap = overlap
+			cfg.SpMV = layout
+			res, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("fig5 spmv=%v overlap=%t: %v", layout, overlap, err)
+			}
+			return res.String()
+		}
+		csr := render(solver.SpMVCSR)
+		sell := render(solver.SpMVSELL)
+		if csr != sell {
+			t.Errorf("fig5 output differs between SpMV layouts (overlap=%t):\n--- csr ---\n%s\n--- sell ---\n%s",
+				overlap, csr, sell)
+		}
+	}
+}

@@ -40,26 +40,69 @@ func (s Segment) Energy() float64 { return s.Watts * s.Dur }
 // even though ranks record concurrently (a shared += would pick up the
 // goroutine interleaving through float non-associativity).
 type Meter struct {
-	mu        sync.Mutex
-	segs      []Segment
-	byCore    map[int]float64            // per-core total energy
-	phaseCore map[int]map[string]float64 // per-core, per-phase energy
-	lastEnd   map[int]float64            // per-core last recorded end, for gap checks
-	lastSeg   map[int]int                // per-core index of the last retained segment
-	keepSegs  bool
+	mu       sync.Mutex
+	segs     []Segment
+	cores    []coreMeter // dense, indexed by core id, grown on demand
+	keepSegs bool
+	reserved bool // core table pre-sized by Reserve; enables lock-free records
+}
+
+// coreMeter is one core's accumulator. Dense per-core state (vs. the
+// former int-keyed maps) makes Record — which runs on every virtual
+// clock advance of every rank — an index plus a float add.
+type coreMeter struct {
+	energy  float64
+	lastEnd float64
+	lastSeg int // index+1 of the last retained segment; 0 = none
+	phases  []phaseEnergy
+}
+
+// phaseEnergy is one (phase, energy) entry. A core sees only a handful
+// of phase labels, so a linear scan with Go's pointer-first string
+// compare beats hashing the label on every record; the per-record `+=`
+// sequence (and hence every reported bit) is unchanged from the map
+// implementation.
+type phaseEnergy struct {
+	phase string
+	e     float64
+}
+
+func (cm *coreMeter) addPhase(phase string, e float64) {
+	for i := range cm.phases {
+		if cm.phases[i].phase == phase {
+			cm.phases[i].e += e
+			return
+		}
+	}
+	cm.phases = append(cm.phases, phaseEnergy{phase: phase, e: e})
 }
 
 // NewMeter returns a meter. If keepSegments is false, only aggregate
 // energies are kept (cheaper for large sweeps); timelines then cannot be
 // reconstructed.
 func NewMeter(keepSegments bool) *Meter {
-	return &Meter{
-		byCore:    make(map[int]float64),
-		phaseCore: make(map[int]map[string]float64),
-		lastEnd:   make(map[int]float64),
-		lastSeg:   make(map[int]int),
-		keepSegs:  keepSegments,
+	return &Meter{keepSegs: keepSegments}
+}
+
+// Reserve pre-sizes the per-core table for cores [0, n). On a meter
+// without segment retention, records to a reserved core then take a
+// lock-free path: each core's accumulator is written by exactly one rank
+// goroutine (core id = rank) and aggregate reads happen after the run
+// joins, so no synchronization is needed beyond the run's own edges.
+// Callers must reserve every core that will be recorded concurrently;
+// the cluster runtime reserves its full rank range before any rank
+// starts. Record runs on every virtual clock advance of every rank, so
+// removing the global mutex removes the last cross-rank serialization
+// point from the simulation hot path.
+func (m *Meter) Reserve(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > len(m.cores) {
+		grown := make([]coreMeter, n)
+		copy(grown, m.cores)
+		m.cores = grown
 	}
+	m.reserved = true
 }
 
 // Record adds a segment. Zero-duration segments are ignored; negative
@@ -74,18 +117,30 @@ func (m *Meter) Record(core int, phase string, start, dur, watts float64) {
 	if watts < 0 || math.IsNaN(watts) {
 		panic(fmt.Sprintf("power: negative/NaN power %g on core %d phase %q", watts, core, phase))
 	}
+	if m.reserved && !m.keepSegs && core < len(m.cores) {
+		// Lock-free single-writer path; see Reserve.
+		cm := &m.cores[core]
+		e := watts * dur
+		cm.energy += e
+		cm.addPhase(phase, e)
+		if end := start + dur; end > cm.lastEnd {
+			cm.lastEnd = end
+		}
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	e := watts * dur
-	m.byCore[core] += e
-	pm := m.phaseCore[core]
-	if pm == nil {
-		pm = make(map[string]float64)
-		m.phaseCore[core] = pm
+	if core >= len(m.cores) {
+		grown := make([]coreMeter, core+1)
+		copy(grown, m.cores)
+		m.cores = grown
 	}
-	pm[phase] += e
-	if end := start + dur; end > m.lastEnd[core] {
-		m.lastEnd[core] = end
+	cm := &m.cores[core]
+	e := watts * dur
+	cm.energy += e
+	cm.addPhase(phase, e)
+	if end := start + dur; end > cm.lastEnd {
+		cm.lastEnd = end
 	}
 	if !m.keepSegs {
 		return
@@ -95,8 +150,8 @@ func (m *Meter) Record(core int, phase string, start, dur, watts float64) {
 	// (rather than globally) keeps each core's retained segment list a
 	// pure function of its program order: whether another core's record
 	// interleaved between two of ours cannot change what is merged.
-	if idx, ok := m.lastSeg[core]; ok {
-		last := &m.segs[idx]
+	if cm.lastSeg > 0 {
+		last := &m.segs[cm.lastSeg-1]
 		if last.Phase == phase && last.Watts == watts &&
 			math.Abs(last.End()-start) < 1e-12 {
 			last.Dur += dur
@@ -104,41 +159,32 @@ func (m *Meter) Record(core int, phase string, start, dur, watts float64) {
 		}
 	}
 	m.segs = append(m.segs, Segment{Core: core, Phase: phase, Start: start, Dur: dur, Watts: watts})
-	m.lastSeg[core] = len(m.segs) - 1
+	cm.lastSeg = len(m.segs)
 }
 
-// sortedCores returns the recorded core ids in ascending order.
-// Callers must hold m.mu.
-func (m *Meter) sortedCores() []int {
-	cores := make([]int, 0, len(m.byCore))
-	for c := range m.byCore {
-		cores = append(cores, c)
-	}
-	sort.Ints(cores)
-	return cores
-}
-
-// TotalEnergy returns the total recorded energy in joules.
+// TotalEnergy returns the total recorded energy in joules, reduced over
+// cores in ascending order (never-recorded cores contribute +0, which
+// cannot change any bit of the sum).
 func (m *Meter) TotalEnergy() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var total float64
-	for _, c := range m.sortedCores() {
-		total += m.byCore[c]
+	for i := range m.cores {
+		total += m.cores[i].energy
 	}
 	return total
 }
 
 // EnergyByPhase returns the per-phase energy breakdown, reduced over cores
-// in sorted order (each phase appears once per core, so the inner map
-// iteration order cannot affect the sums).
+// in ascending order (each phase appears once per core, so the per-core
+// entry order cannot affect the sums).
 func (m *Meter) EnergyByPhase() map[string]float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[string]float64)
-	for _, c := range m.sortedCores() {
-		for ph, e := range m.phaseCore[c] {
-			out[ph] += e
+	for i := range m.cores {
+		for _, pe := range m.cores[i].phases {
+			out[pe.phase] += pe.e
 		}
 	}
 	return out
@@ -159,8 +205,8 @@ func (m *Meter) Span() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var end float64
-	for _, t := range m.lastEnd {
-		if t > end {
+	for i := range m.cores {
+		if t := m.cores[i].lastEnd; t > end {
 			end = t
 		}
 	}

@@ -1,0 +1,72 @@
+package solver
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// SpMVLayout selects the storage layout of the rank-local SpMV kernels.
+// Both layouts produce bitwise-identical results and charge the identical
+// SpMVFlops cost stream, so virtual time and energy are unaffected; only
+// host wall-clock changes.
+type SpMVLayout int
+
+const (
+	// SpMVAuto resolves the layout from the RES_SPMV environment variable
+	// ("sell" or "blocked" for SELL-C-σ) and defaults to CSR.
+	SpMVAuto SpMVLayout = iota
+	// SpMVCSR uses the row-major CSR kernels — the original layout and
+	// the bitwise oracle the blocked kernels are pinned against.
+	SpMVCSR
+	// SpMVSELL uses SELL-C-σ chunks (sparse.SELL): C rows advance in
+	// lockstep through column-major storage, giving the CPU C independent
+	// accumulator chains instead of CSR's one.
+	SpMVSELL
+)
+
+func (l SpMVLayout) String() string {
+	switch l {
+	case SpMVAuto:
+		return "auto"
+	case SpMVCSR:
+		return "csr"
+	case SpMVSELL:
+		return "sell"
+	}
+	return fmt.Sprintf("SpMVLayout(%d)", int(l))
+}
+
+// ParseSpMV parses a layout name as the CLIs spell it: "" or "auto"
+// (defer to RES_SPMV), "csr", or "sell"/"blocked".
+func ParseSpMV(s string) (SpMVLayout, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return SpMVAuto, nil
+	case "csr":
+		return SpMVCSR, nil
+	case "sell", "blocked", "sell-c-sigma":
+		return SpMVSELL, nil
+	}
+	return SpMVAuto, fmt.Errorf("solver: unknown SpMV layout %q (want auto, csr or sell)", s)
+}
+
+// spmvFromEnv resolves SpMVAuto against the RES_SPMV environment
+// variable. Unrecognized values fall back to CSR so a typo can never
+// silently change which kernel produced a result set.
+func spmvFromEnv() SpMVLayout {
+	switch strings.ToLower(os.Getenv("RES_SPMV")) {
+	case "sell", "blocked", "sell-c-sigma":
+		return SpMVSELL
+	}
+	return SpMVCSR
+}
+
+// resolveSpMV applies the precedence: an explicit layout wins, SpMVAuto
+// consults the environment.
+func resolveSpMV(l SpMVLayout) SpMVLayout {
+	if l == SpMVAuto {
+		return spmvFromEnv()
+	}
+	return l
+}

@@ -1,0 +1,332 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxSELLC is the largest supported SELL chunk height. The SpMV kernel
+// keeps one accumulator per lane in a fixed-size stack array, so the
+// chunk height is bounded at compile time; 8 lanes of float64 fill one
+// cache line of accumulators.
+const MaxSELLC = 8
+
+// Default SELL shape: 8-row chunks, 64-row sorting windows. C=8 matches
+// the accumulator register budget; sigma=64 is wide enough to group the
+// equal-length rows of stencil matrices into uniform chunks while keeping
+// the permutation local (a row moves at most 63 slots from home).
+const (
+	DefaultSELLC     = 8
+	DefaultSELLSigma = 64
+)
+
+// SELL is a sparse matrix in SELL-C-σ format (sliced ELLPACK with sorted
+// windows; Kreutzer et al., SIAM J. Sci. Comput. 36(5), 2014): rows are
+// grouped into chunks of C, each chunk is stored column-major and padded
+// to its longest row, and rows are permuted within σ-row windows —
+// longest first — so the rows sharing a chunk have similar lengths and
+// padding stays small.
+//
+// Bitwise contract with CSR: each row's entries are stored in their CSR
+// order and accumulated left to right into that row's own accumulator, so
+// MulVec/MulVecAdd produce exactly CSR.MulVec/MulVecAdd's bits. The σ
+// permutation moves only whole rows; OutRow carries the inverse map, so
+// results land at their original CSR row positions and callers never see
+// the permutation. Padding slots are never read by the kernels (the
+// active-lane prefix excludes them), so pad values cannot leak into
+// results even for NaN/Inf inputs.
+type SELL struct {
+	Rows, Cols int
+	C          int // chunk height (rows per chunk), 1..MaxSELLC
+	Sigma      int // sorting window height, a multiple of C
+
+	// ChunkOff[ch] is the offset of chunk ch in ColIdx/Val; chunk ch
+	// occupies [ChunkOff[ch], ChunkOff[ch+1]) = C * width(ch) slots.
+	ChunkOff []int32
+	// OutRow[ch*C+r] is the original row stored in lane r of chunk ch,
+	// or -1 for a padding lane (only the tail of the last chunk). Pads
+	// are trailing within their chunk.
+	OutRow []int32
+	// LaneLen[ch*C+r] is lane r's entry count. Within a chunk lanes are
+	// sorted longest first, so for any entry column j the active lanes
+	// form a prefix.
+	LaneLen []int32
+
+	// ColIdx/Val are the chunk-local column-major entry arrays: entry j
+	// of lane r in chunk ch lives at ChunkOff[ch] + j*C + r. Slots past
+	// a lane's length are padding (zero value, column 0), present in
+	// storage but never read.
+	ColIdx []uint32
+	Val    []float64
+
+	nnz int
+}
+
+// NewSELLFromCSR converts m to SELL-C-σ. The identity OutRow maps lane
+// results straight back to m's row order. sigma is rounded up to a
+// multiple of c so chunks never straddle sorting windows.
+func NewSELLFromCSR(m *CSR, c, sigma int) *SELL {
+	return NewSELLFromRows(m.Rows, m.Cols, m.RowPtr, m.ColIdx, m.Val, nil, c, sigma)
+}
+
+// NewSELLFromRows builds a SELL operator over an arbitrary packed row
+// set in CSR-shaped arrays: row i's entries are colIdx[rowPtr[i]:
+// rowPtr[i+1]] / val[...], and its result is written to y[outRow[i]]
+// (outRow nil means the identity). This is the constructor the solver's
+// interior/boundary row subsets use: their packed blocks already carry a
+// scatter target per row, which composes with the σ permutation into a
+// single indirection.
+func NewSELLFromRows(rows, cols int, rowPtr, colIdx []int, val []float64, outRow []int, c, sigma int) *SELL {
+	if c < 1 || c > MaxSELLC {
+		panic(fmt.Sprintf("sparse: SELL chunk height %d outside 1..%d", c, MaxSELLC))
+	}
+	if sigma < 1 {
+		panic(fmt.Sprintf("sparse: SELL sigma %d < 1", sigma))
+	}
+	sigma = (sigma + c - 1) / c * c
+	if rows < 0 || cols < 0 || len(rowPtr) != rows+1 {
+		panic(fmt.Sprintf("sparse: SELL over %d rows with %d row offsets", rows, len(rowPtr)))
+	}
+	if cols > math.MaxUint32 {
+		panic(fmt.Sprintf("sparse: SELL column count %d overflows uint32 indices", cols))
+	}
+	if outRow != nil && len(outRow) != rows {
+		panic(fmt.Sprintf("sparse: SELL outRow length %d, want %d", len(outRow), rows))
+	}
+
+	// σ permutation: within each window of sigma rows, stable-sort by
+	// descending length. Stability makes the layout a pure function of
+	// the row lengths, and equal-length runs (the common stencil case)
+	// keep their original order.
+	perm := make([]int32, rows)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rowLen := func(i int32) int { return rowPtr[i+1] - rowPtr[i] }
+	for w0 := 0; w0 < rows; w0 += sigma {
+		hi := w0 + sigma
+		if hi > rows {
+			hi = rows
+		}
+		win := perm[w0:hi]
+		sort.SliceStable(win, func(a, b int) bool { return rowLen(win[a]) > rowLen(win[b]) })
+	}
+
+	nChunks := (rows + c - 1) / c
+	s := &SELL{
+		Rows: rows, Cols: cols, C: c, Sigma: sigma,
+		ChunkOff: make([]int32, nChunks+1),
+		OutRow:   make([]int32, nChunks*c),
+		LaneLen:  make([]int32, nChunks*c),
+		nnz:      rowPtr[rows],
+	}
+	size := 0
+	for ch := 0; ch < nChunks; ch++ {
+		width := 0
+		for r := 0; r < c; r++ {
+			slot := ch*c + r
+			if i := ch*c + r; i < rows {
+				row := perm[i]
+				if outRow != nil {
+					s.OutRow[slot] = int32(outRow[row])
+				} else {
+					s.OutRow[slot] = row
+				}
+				n := rowLen(row)
+				s.LaneLen[slot] = int32(n)
+				if n > width {
+					width = n
+				}
+			} else {
+				s.OutRow[slot] = -1
+			}
+		}
+		size += c * width
+		s.ChunkOff[ch+1] = int32(size)
+	}
+	s.ColIdx = make([]uint32, size)
+	s.Val = make([]float64, size)
+	for ch := 0; ch < nChunks; ch++ {
+		base := int(s.ChunkOff[ch])
+		for r := 0; r < c; r++ {
+			i := ch*c + r
+			if i >= rows {
+				break
+			}
+			row := perm[i]
+			lo := rowPtr[row]
+			for j := 0; j < rowLen(row); j++ {
+				s.ColIdx[base+j*c+r] = uint32(colIdx[lo+j])
+				s.Val[base+j*c+r] = val[lo+j]
+			}
+		}
+	}
+	return s
+}
+
+// NNZ returns the number of stored (non-padding) entries.
+func (s *SELL) NNZ() int { return s.nnz }
+
+// SpMVFlops returns the flop count of one SpMV: a multiply and an add
+// per stored entry, identical to the source CSR's count — padding is
+// layout, not work, so the virtual-time cost stream is unchanged by the
+// format.
+func (s *SELL) SpMVFlops() int64 { return 2 * int64(s.nnz) }
+
+// MulVec computes y[OutRow[lane]] = row · x for every lane; with the
+// identity OutRow that is y = A*x in original row order.
+func (s *SELL) MulVec(y, x []float64) {
+	if len(x) != s.Cols {
+		panic(fmt.Sprintf("sparse: SELL MulVec %dx%d with len(x)=%d", s.Rows, s.Cols, len(x)))
+	}
+	s.mulVec(y, x, false)
+}
+
+// MulVecAdd computes y[OutRow[lane]] += row · x for every lane.
+func (s *SELL) MulVecAdd(y, x []float64) {
+	if len(x) != s.Cols {
+		panic(fmt.Sprintf("sparse: SELL MulVecAdd %dx%d with len(x)=%d", s.Rows, s.Cols, len(x)))
+	}
+	s.mulVec(y, x, true)
+}
+
+// mulVec is the SELL kernel. Per chunk it walks entry columns j-major
+// with one accumulator per lane: the C rows of a chunk advance in
+// lockstep, turning the CSR kernel's single serial dependency chain into
+// C independent chains the CPU can pipeline, while each row's own chain
+// keeps its CSR order (bitwise-identical sums). The active-lane count
+// only shrinks as j grows (lanes are sorted longest first), so padding
+// is excluded by slicing, not tested per element.
+func (s *SELL) mulVec(y, x []float64, add bool) {
+	c := s.C
+	for ch := 0; ch+1 < len(s.ChunkOff); ch++ {
+		base := int(s.ChunkOff[ch])
+		width := (int(s.ChunkOff[ch+1]) - base) / c
+		lens := s.LaneLen[ch*c : ch*c+c]
+		var acc [MaxSELLC]float64
+		if c == MaxSELLC && width > 0 && int(lens[MaxSELLC-1]) == width {
+			// Uniform full chunk — the dominant case after σ-sorting a
+			// stencil matrix: every lane is active for every j, so the
+			// active-prefix scan and the slice re-derivation drop out and
+			// the fixed-size array views eliminate the bounds checks.
+			// width > 0 with a full shortest lane implies no pad lanes
+			// (pads are empty), so every OutRow below is a real row.
+			// Named scalar accumulators stay in registers across the j
+			// loop (an indexed array would bounce through the stack),
+			// and the unrolled body exposes 8 independent madd chains.
+			var a0, a1, a2, a3, a4, a5, a6, a7 float64
+			for j := 0; j < width; j++ {
+				off := base + j*MaxSELLC
+				cols := (*[MaxSELLC]uint32)(s.ColIdx[off : off+MaxSELLC])
+				vals := (*[MaxSELLC]float64)(s.Val[off : off+MaxSELLC])
+				a0 += vals[0] * x[cols[0]]
+				a1 += vals[1] * x[cols[1]]
+				a2 += vals[2] * x[cols[2]]
+				a3 += vals[3] * x[cols[3]]
+				a4 += vals[4] * x[cols[4]]
+				a5 += vals[5] * x[cols[5]]
+				a6 += vals[6] * x[cols[6]]
+				a7 += vals[7] * x[cols[7]]
+			}
+			acc[0], acc[1], acc[2], acc[3] = a0, a1, a2, a3
+			acc[4], acc[5], acc[6], acc[7] = a4, a5, a6, a7
+			outs := (*[MaxSELLC]int32)(s.OutRow[ch*MaxSELLC : ch*MaxSELLC+MaxSELLC])
+			if add {
+				for r, row := range outs {
+					y[row] += acc[r]
+				}
+			} else {
+				for r, row := range outs {
+					y[row] = acc[r]
+				}
+			}
+			continue
+		}
+		act := c
+		for j := 0; j < width; j++ {
+			for int(lens[act-1]) <= j {
+				act--
+			}
+			off := base + j*c
+			cols := s.ColIdx[off : off+act]
+			vals := s.Val[off : off+act]
+			vals = vals[:len(cols)]
+			for r, ci := range cols {
+				acc[r] += vals[r] * x[ci]
+			}
+		}
+		outs := s.OutRow[ch*c : ch*c+c]
+		for r, row := range outs {
+			if row < 0 {
+				break
+			}
+			if add {
+				y[row] += acc[r]
+			} else {
+				y[row] = acc[r]
+			}
+		}
+	}
+}
+
+// Validate checks the structural invariants and returns a descriptive
+// error if any are violated.
+func (s *SELL) Validate() error {
+	if s.C < 1 || s.C > MaxSELLC {
+		return fmt.Errorf("sparse: SELL chunk height %d outside 1..%d", s.C, MaxSELLC)
+	}
+	if s.Sigma < s.C || s.Sigma%s.C != 0 {
+		return fmt.Errorf("sparse: SELL sigma %d not a positive multiple of C=%d", s.Sigma, s.C)
+	}
+	nChunks := (s.Rows + s.C - 1) / s.C
+	if len(s.ChunkOff) != nChunks+1 || len(s.OutRow) != nChunks*s.C || len(s.LaneLen) != nChunks*s.C {
+		return fmt.Errorf("sparse: SELL table sizes %d/%d/%d for %d chunks of %d",
+			len(s.ChunkOff), len(s.OutRow), len(s.LaneLen), nChunks, s.C)
+	}
+	if nChunks > 0 && s.ChunkOff[0] != 0 {
+		return fmt.Errorf("sparse: SELL ChunkOff[0] = %d, want 0", s.ChunkOff[0])
+	}
+	nnz := 0
+	for ch := 0; ch < nChunks; ch++ {
+		ext := int(s.ChunkOff[ch+1]) - int(s.ChunkOff[ch])
+		if ext < 0 || ext%s.C != 0 {
+			return fmt.Errorf("sparse: SELL chunk %d extent %d not a multiple of C", ch, ext)
+		}
+		width := ext / s.C
+		prev := int32(math.MaxInt32)
+		for r := 0; r < s.C; r++ {
+			slot := ch*s.C + r
+			n := s.LaneLen[slot]
+			if n > prev {
+				return fmt.Errorf("sparse: SELL chunk %d lane lengths not descending at lane %d", ch, r)
+			}
+			prev = n
+			if int(n) > width {
+				return fmt.Errorf("sparse: SELL chunk %d lane %d length %d exceeds width %d", ch, r, n, width)
+			}
+			if s.OutRow[slot] < 0 && n != 0 {
+				return fmt.Errorf("sparse: SELL chunk %d pad lane %d has %d entries", ch, r, n)
+			}
+			nnz += int(n)
+		}
+	}
+	if nnz != s.nnz {
+		return fmt.Errorf("sparse: SELL lane lengths sum to %d, recorded nnz %d", nnz, s.nnz)
+	}
+	if int(s.ChunkOff[nChunks]) != len(s.Val) || len(s.ColIdx) != len(s.Val) {
+		return fmt.Errorf("sparse: SELL storage %d/%d vs ChunkOff end %d",
+			len(s.ColIdx), len(s.Val), s.ChunkOff[nChunks])
+	}
+	for i, ci := range s.ColIdx {
+		if int(ci) >= s.Cols && !(ci == 0 && s.Cols == 0) {
+			return fmt.Errorf("sparse: SELL column %d out of range at slot %d", ci, i)
+		}
+	}
+	return nil
+}
+
+// String returns a short description, e.g. "SELL-8-64 420x420 nnz=7860".
+func (s *SELL) String() string {
+	return fmt.Sprintf("SELL-%d-%d %dx%d nnz=%d", s.C, s.Sigma, s.Rows, s.Cols, s.nnz)
+}

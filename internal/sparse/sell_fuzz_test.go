@@ -1,0 +1,87 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// FuzzSELLFromCSR checks CSR → SELL-C-σ conversion and the blocked SpMV
+// kernel on arbitrary small matrices: the conversion must produce a
+// structurally valid layout whose entries round-trip (every CSR entry
+// present in its lane in CSR order, pads zero), and MulVec/MulVecAdd
+// must reproduce CSR.MulVec/MulVecAdd bitwise — the values are exact
+// small integers, so equality is exact regardless of magnitude.
+func FuzzSELLFromCSR(f *testing.F) {
+	f.Add([]byte{4, 4, 0, 0, 1, 1, 2, 3, 3, 1, 255}, uint8(8), uint8(64))
+	f.Add([]byte{1, 1, 0, 0, 127}, uint8(1), uint8(1))
+	f.Add([]byte{8, 8, 0, 7, 1, 7, 0, 2, 3, 3, 128, 0, 7, 1, 0, 7, 1}, uint8(3), uint8(5))
+	f.Add([]byte{2, 3}, uint8(4), uint8(2)) // empty matrix
+	f.Add([]byte{8, 2, 7, 0, 1, 6, 1, 2, 5, 0, 3}, uint8(2), uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, cRaw, sigmaRaw uint8) {
+		rows, cols, coo, _, x, _, ok := decodeMatrix(data)
+		if !ok {
+			return
+		}
+		m := coo.ToCSR()
+		c := 1 + int(cRaw)%MaxSELLC
+		sigma := 1 + int(sigmaRaw)%128
+		s := NewSELLFromCSR(m, c, sigma)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("C=%d sigma=%d: conversion produced invalid SELL: %v", c, sigma, err)
+		}
+		if s.Rows != rows || s.Cols != cols || s.NNZ() != m.NNZ() || s.SpMVFlops() != m.SpMVFlops() {
+			t.Fatalf("C=%d sigma=%d: shape/nnz/flops drifted: %s vs %s", c, sigma, s, m)
+		}
+
+		// Round-trip: every lane must hold its source row's entries in
+		// CSR order, and its pad slots must be zero-valued.
+		seen := make([]bool, rows)
+		for ch := 0; ch+1 < len(s.ChunkOff); ch++ {
+			base := int(s.ChunkOff[ch])
+			width := (int(s.ChunkOff[ch+1]) - base) / s.C
+			for r := 0; r < s.C; r++ {
+				row := s.OutRow[ch*s.C+r]
+				n := int(s.LaneLen[ch*s.C+r])
+				if row < 0 {
+					continue
+				}
+				if seen[row] {
+					t.Fatalf("row %d stored in two lanes", row)
+				}
+				seen[row] = true
+				lo, hi := m.RowPtr[row], m.RowPtr[row+1]
+				if n != hi-lo {
+					t.Fatalf("row %d lane length %d, CSR has %d", row, n, hi-lo)
+				}
+				for j := 0; j < width; j++ {
+					ci, v := s.ColIdx[base+j*s.C+r], s.Val[base+j*s.C+r]
+					if j < n {
+						if int(ci) != m.ColIdx[lo+j] || v != m.Val[lo+j] {
+							t.Fatalf("row %d entry %d: lane has (%d,%g), CSR (%d,%g)",
+								row, j, ci, v, m.ColIdx[lo+j], m.Val[lo+j])
+						}
+					} else if ci != 0 || v != 0 {
+						t.Fatalf("row %d pad slot %d holds (%d,%g), want zeros", row, j, ci, v)
+					}
+				}
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("row %d has no lane", i)
+			}
+		}
+
+		// Kernel equivalence, bitwise, against the CSR kernels.
+		got, want := make([]float64, rows), make([]float64, rows)
+		s.MulVec(got, x)
+		m.MulVec(want, x)
+		if !sameBits(got, want) {
+			t.Fatalf("C=%d sigma=%d: MulVec differs from CSR", c, sigma)
+		}
+		s.MulVecAdd(got, x)
+		m.MulVecAdd(want, x)
+		if !sameBits(got, want) {
+			t.Fatalf("C=%d sigma=%d: MulVecAdd differs from CSR", c, sigma)
+		}
+	})
+}

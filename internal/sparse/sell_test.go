@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sellShapes are the (C, sigma) pairs the equivalence tests sweep: the
+// degenerate C=1 (pure CSR order), non-power-of-two heights, sigma
+// smaller than C (rounded up), sigma not a multiple of C, and the
+// default shape.
+var sellShapes = [][2]int{{1, 1}, {2, 2}, {3, 7}, {4, 16}, {8, 5}, {DefaultSELLC, DefaultSELLSigma}}
+
+// TestSELLBitwiseEquivalence pins the SELL kernels bitwise against
+// CSR.MulVec/MulVecAdd across every short-row shape and chunk geometry,
+// the same contract spmv_equiv_test.go pins for the hoisted CSR loops.
+func TestSELLBitwiseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(m *CSR) {
+		t.Helper()
+		x := randVec(rng, m.Cols)
+		y0 := randVec(rng, m.Rows)
+		for _, sh := range sellShapes {
+			s := NewSELLFromCSR(m, sh[0], sh[1])
+			if err := s.Validate(); err != nil {
+				t.Fatalf("C=%d sigma=%d: invalid SELL for %s: %v", sh[0], sh[1], m, err)
+			}
+			if s.NNZ() != m.NNZ() || s.SpMVFlops() != m.SpMVFlops() {
+				t.Fatalf("C=%d sigma=%d: nnz/flops %d/%d, want %d/%d",
+					sh[0], sh[1], s.NNZ(), s.SpMVFlops(), m.NNZ(), m.SpMVFlops())
+			}
+			got, want := append([]float64(nil), y0...), append([]float64(nil), y0...)
+			s.MulVec(got, x)
+			m.MulVec(want, x)
+			if !sameBits(got, want) {
+				t.Fatalf("C=%d sigma=%d: MulVec differs from CSR for %s", sh[0], sh[1], m)
+			}
+			got, want = append([]float64(nil), y0...), append([]float64(nil), y0...)
+			s.MulVecAdd(got, x)
+			m.MulVecAdd(want, x)
+			if !sameBits(got, want) {
+				t.Fatalf("C=%d sigma=%d: MulVecAdd differs from CSR for %s", sh[0], sh[1], m)
+			}
+		}
+	}
+
+	for n := 0; n <= 17; n++ {
+		check(randCSR(rng, n, n, n))     // square, row lengths 0..n
+		check(randCSR(rng, n, n+3, n+1)) // rectangular
+	}
+	check(randCSR(rng, 300, 280, 40)) // large: many windows and chunks
+	check(randCSR(rng, 300, 300, 2))  // very sparse: mostly empty lanes
+}
+
+// TestSELLPadsNeverRead proves padding isolation the adversarial way:
+// poison x with NaN everywhere, multiply a matrix whose rows reference
+// only column 0, and demand finite results. If the kernel ever touched a
+// pad slot (column 0, value 0) against NaN input, 0*NaN = NaN would leak
+// into a sum.
+func TestSELLPadsNeverRead(t *testing.T) {
+	m := NewCSR(9, 4, 9)
+	for i := 0; i < 9; i++ {
+		// Ragged rows: lengths 1..3 so every chunk gets real padding.
+		n := i%3 + 1
+		for j := 0; j < n; j++ {
+			m.ColIdx = append(m.ColIdx, j+1)
+			m.Val = append(m.Val, float64(i+j+1))
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	x := []float64{math.NaN(), 1, 2, 3} // column 0 poisoned: only pads point there
+	for _, sh := range sellShapes {
+		s := NewSELLFromCSR(m, sh[0], sh[1])
+		y := make([]float64, 9)
+		s.MulVec(y, x)
+		for i, v := range y {
+			if math.IsNaN(v) {
+				t.Fatalf("C=%d sigma=%d: NaN leaked into row %d: pad slot was read", sh[0], sh[1], i)
+			}
+		}
+	}
+}
+
+// TestSELLFromRowsScatter checks the composed output mapping: a packed
+// row subset with explicit scatter targets must land results exactly
+// where the equivalent per-row CSR products would.
+func TestSELLFromRowsScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randCSR(rng, 40, 30, 6)
+	// Take every third row, scattering to its original position.
+	var rows []int
+	for i := 0; i < m.Rows; i += 3 {
+		rows = append(rows, i)
+	}
+	rowPtr := make([]int, len(rows)+1)
+	var colIdx []int
+	var val []float64
+	for i, r := range rows {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		colIdx = append(colIdx, m.ColIdx[lo:hi]...)
+		val = append(val, m.Val[lo:hi]...)
+		rowPtr[i+1] = len(val)
+	}
+	s := NewSELLFromRows(len(rows), m.Cols, rowPtr, colIdx, val, rows, 4, 8)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid SELL: %v", err)
+	}
+	x := randVec(rng, m.Cols)
+	want := make([]float64, m.Rows)
+	m.MulVec(want, x)
+	got := make([]float64, m.Rows)
+	for i := range got {
+		got[i] = -1 // sentinel: rows outside the subset must stay untouched
+	}
+	s.MulVec(got, x)
+	for i := range got {
+		if i%3 == 0 {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("row %d: scatter product %v, CSR %v", i, got[i], want[i])
+			}
+		} else if got[i] != -1 {
+			t.Fatalf("row %d outside subset was written: %v", i, got[i])
+		}
+	}
+}
+
+// TestSELLValidateRejects exercises the validator against corrupted
+// layouts.
+func TestSELLValidateRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fresh := func() *SELL { return NewSELLFromCSR(randCSR(rng, 20, 20, 5), 4, 8) }
+
+	s := fresh()
+	if len(s.LaneLen) > 1 && s.LaneLen[0] == 0 {
+		s.LaneLen[0] = 1 // force a non-descending pair below
+	}
+	s.LaneLen[0], s.LaneLen[1] = 0, s.LaneLen[0]
+	if s.Validate() == nil {
+		t.Fatal("non-descending lane lengths must be rejected")
+	}
+
+	s = fresh()
+	s.ChunkOff[len(s.ChunkOff)-1]++
+	if s.Validate() == nil {
+		t.Fatal("ChunkOff/storage mismatch must be rejected")
+	}
+
+	s = fresh()
+	if len(s.ColIdx) > 0 {
+		s.ColIdx[0] = uint32(s.Cols)
+		if s.Validate() == nil {
+			t.Fatal("out-of-range column must be rejected")
+		}
+	}
+}
