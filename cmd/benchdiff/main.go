@@ -36,6 +36,7 @@ import (
 	"resilience/internal/service/cache"
 	"resilience/internal/solver"
 	"resilience/internal/sparse"
+	"resilience/internal/telemetry"
 	"resilience/internal/vec"
 )
 
@@ -303,6 +304,27 @@ func kernelSuite() []namedBench {
 				if !ok || err != nil || key == "" {
 					b.Fatal("bad key")
 				}
+			}
+		}},
+		// Telemetry hot paths. A histogram sample lands on every finished
+		// job and a span pair wraps every request stage; both are gated at
+		// 0 allocs/op so the metrics plane can never perturb the latencies
+		// it reports.
+		{"HistogramRecord/1", func(b *testing.B) {
+			var h telemetry.Histogram
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Record(float64(i&1023) * 1e-4)
+			}
+		}},
+		{"SpanStartEnd/1", func(b *testing.B) {
+			tr := telemetry.NewTracer(4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Start("solve", "r-bench-000001")
+				sp.End()
 			}
 		}},
 		// ClusterStep is the scheduler acceptance benchmark: one

@@ -145,16 +145,19 @@ func runStream(client *http.Client, o options, out io.Writer) error {
 					failures.Add(1)
 					continue
 				}
-				code, got, r, err := postRetry(client, o.addr, req)
+				// Deterministic request IDs: the same -seed names the same
+				// jobs, so a failure's ID can be found again on replay.
+				reqID := fmt.Sprintf("load-s%d-job-%d", o.seed, i)
+				code, got, r, ec, err := postRetry(client, o.addr, req, reqID)
 				retries.Add(int64(r))
 				if err != nil || code != http.StatusOK {
 					failures.Add(1)
-					fmt.Fprintf(out, "job %d: status %d err %v: %s\n", i, code, err, got)
+					fmt.Fprintf(out, "job %d: status %d err %v %s: %s\n", i, code, err, ec, got)
 					continue
 				}
 				if !bytes.Equal(got, want) {
 					mismatches.Add(1)
-					fmt.Fprintf(out, "job %d: response differs from oracle\n  scenario: %s\n  got:  %s\n  want: %s\n", i, s.Args(), got, want)
+					fmt.Fprintf(out, "job %d: response differs from oracle (%s)\n  scenario: %s\n  got:  %s\n  want: %s\n", i, ec, s.Args(), got, want)
 				}
 			}
 		}()
@@ -220,30 +223,32 @@ func runDupPhase(client *http.Client, o options, out io.Writer) error {
 	}
 
 	var mismatches, failures, retries atomic.Int64
-	jobs := make(chan int)
+	jobs := make(chan [2]int) // [stream position, unique-job index]
 	var wg sync.WaitGroup
 	for w := 0; w < o.c; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range jobs {
-				code, got, r, err := postRetry(client, o.addr, uniq[idx])
+			for j := range jobs {
+				pos, idx := j[0], j[1]
+				reqID := fmt.Sprintf("load-s%d-dup-%d", o.seed, pos)
+				code, got, r, ec, err := postRetry(client, o.addr, uniq[idx], reqID)
 				retries.Add(int64(r))
 				if err != nil || code != http.StatusOK {
 					failures.Add(1)
-					fmt.Fprintf(out, "dup job (uniq %d): status %d err %v: %s\n", idx, code, err, got)
+					fmt.Fprintf(out, "dup job (uniq %d): status %d err %v %s: %s\n", idx, code, err, ec, got)
 					continue
 				}
 				if !bytes.Equal(got, oracle[idx]) {
 					mismatches.Add(1)
-					fmt.Fprintf(out, "dup job (uniq %d): response differs from oracle\n  scenario: %s\n  got:  %s\n  want: %s\n",
-						idx, uniq[idx].Scenario, got, oracle[idx])
+					fmt.Fprintf(out, "dup job (uniq %d): response differs from oracle (%s)\n  scenario: %s\n  got:  %s\n  want: %s\n",
+						idx, ec, uniq[idx].Scenario, got, oracle[idx])
 				}
 			}
 		}()
 	}
-	for _, idx := range stream {
-		jobs <- idx
+	for pos, idx := range stream {
+		jobs <- [2]int{pos, idx}
 	}
 	close(jobs)
 	wg.Wait()
@@ -316,18 +321,18 @@ func runBurst(client *http.Client, addr string, burst, sleepMs int, out io.Write
 	var wg sync.WaitGroup
 	for i := 0; i < burst; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			req := service.JobRequest{SleepMs: sleepMs}
-			code, body, retries, err := postRetry(client, addr, req)
+			code, body, retries, ec, err := postRetry(client, addr, req, fmt.Sprintf("load-burst-%d", i))
 			if retries > 0 {
 				rejected.Add(1)
 			}
 			if err != nil || code != http.StatusOK {
 				failed.Add(1)
-				fmt.Fprintf(out, "burst job: status %d err %v: %s\n", code, err, body)
+				fmt.Fprintf(out, "burst job: status %d err %v %s: %s\n", code, err, ec, body)
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 	fmt.Fprintf(out, "resilience-load: burst %d sleep jobs, %d hit queue-full and retried to completion\n",
@@ -338,27 +343,62 @@ func runBurst(client *http.Client, addr string, burst, sleepMs int, out io.Write
 	return int(rejected.Load()), nil
 }
 
-// postRetry submits one job, retrying on 429 for as long as the server
-// advertises Retry-After (capped, bounded attempts). Returns the final
-// status, body, and how many 429s were absorbed.
-func postRetry(client *http.Client, addr string, req service.JobRequest) (int, []byte, int, error) {
+// echo carries the telemetry headers the server answered with: the
+// echoed X-Request-Id (which names the request in server-side spans and
+// flight-recorder dumps) and the X-Cache marker. Failure and mismatch
+// logs quote both, so a bad response can be chased through the fleet.
+type echo struct {
+	reqID string
+	cache string
+}
+
+// String renders the echo for failure logs.
+func (e echo) String() string {
+	cache := e.cache
+	if cache == "" {
+		cache = "-"
+	}
+	reqID := e.reqID
+	if reqID == "" {
+		reqID = "-"
+	}
+	return "req_id=" + reqID + " x_cache=" + cache
+}
+
+// postRetry submits one job under the given X-Request-Id, retrying on
+// 429 for as long as the server advertises Retry-After (capped, bounded
+// attempts). Returns the final status, body, how many 429s were
+// absorbed, and the echoed telemetry headers.
+func postRetry(client *http.Client, addr string, req service.JobRequest, reqID string) (int, []byte, int, echo, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, echo{}, err
 	}
 	retries := 0
+	var ec echo
 	for attempt := 0; attempt < 200; attempt++ {
-		resp, err := client.Post(addr+"/solve", "application/json", bytes.NewReader(body))
+		hr, err := http.NewRequest(http.MethodPost, addr+"/solve", bytes.NewReader(body))
 		if err != nil {
-			return 0, nil, retries, err
+			return 0, nil, retries, ec, err
 		}
+		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set("X-Request-Id", reqID)
+		resp, err := client.Do(hr)
+		if err != nil {
+			return 0, nil, retries, ec, err
+		}
+		ec = echo{reqID: resp.Header.Get("X-Request-Id"), cache: resp.Header.Get("X-Cache")}
 		got, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return resp.StatusCode, nil, retries, err
+			return resp.StatusCode, nil, retries, ec, err
 		}
 		if resp.StatusCode != http.StatusTooManyRequests {
-			return resp.StatusCode, got, retries, nil
+			if ec.reqID != "" && ec.reqID != reqID {
+				return resp.StatusCode, got, retries, ec,
+					fmt.Errorf("resilience-load: sent X-Request-Id %s but server echoed %s", reqID, ec.reqID)
+			}
+			return resp.StatusCode, got, retries, ec, nil
 		}
 		retries++
 		wait := 50 * time.Millisecond
@@ -370,5 +410,5 @@ func postRetry(client *http.Client, addr string, req service.JobRequest) (int, [
 		}
 		time.Sleep(wait)
 	}
-	return http.StatusTooManyRequests, nil, retries, fmt.Errorf("resilience-load: still 429 after %d retries", retries)
+	return http.StatusTooManyRequests, nil, retries, ec, fmt.Errorf("resilience-load: still 429 after %d retries", retries)
 }

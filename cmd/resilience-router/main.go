@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"resilience/internal/service/router"
+	"resilience/internal/telemetry"
 )
 
 // options carries every run parameter; tests fill it directly.
@@ -42,6 +43,7 @@ type options struct {
 	healthEvery time.Duration
 	drainGrace  time.Duration
 	pprofAddr   string
+	flightDir   string
 	stop        <-chan struct{} // test hook: a close drains like a signal
 }
 
@@ -55,6 +57,7 @@ func main() {
 	flag.DurationVar(&o.healthEvery, "health-every", 2*time.Second, "replica health-probe interval (negative: disabled)")
 	flag.DurationVar(&o.drainGrace, "drain-grace", 30*time.Second, "max time to drain in-flight forwards on shutdown")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+	flag.StringVar(&o.flightDir, "flight-dir", "", "dump flight-recorder rings into this directory on routing failures (empty: disabled)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -77,6 +80,9 @@ func servePprof(addr string) error {
 
 // run routes until a signal (or a close of o.stop, for tests) and drains.
 func run(o options) error {
+	if o.flightDir != "" {
+		telemetry.DefaultFlight().SetDump(o.flightDir, "resilience-router")
+	}
 	var urls []string
 	for _, u := range strings.Split(o.replicas, ",") {
 		if u = strings.TrimSpace(u); u != "" {

@@ -24,10 +24,12 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"resilience/internal/service"
+	"resilience/internal/telemetry"
 )
 
 // options carries every run parameter; tests fill it directly.
@@ -40,6 +42,8 @@ type options struct {
 	retryAfter time.Duration
 	drainGrace time.Duration
 	pprofAddr  string
+	flightDir  string
+	traceDir   string
 	stop       <-chan struct{} // test hook: a close drains like a signal
 }
 
@@ -53,6 +57,8 @@ func main() {
 	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429 responses")
 	flag.DurationVar(&o.drainGrace, "drain-grace", 30*time.Second, "max time to drain in-flight jobs on shutdown")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+	flag.StringVar(&o.flightDir, "flight-dir", "", "dump flight-recorder rings into this directory on job failure/5xx (empty: disabled)")
+	flag.StringVar(&o.traceDir, "trace-dir", "", "write the merged wall-clock + virtual-time Chrome trace here on shutdown (empty: disabled)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -76,6 +82,9 @@ func servePprof(addr string) error {
 
 // run serves until a signal (or a close of o.stop, for tests) and drains.
 func run(o options) error {
+	if o.flightDir != "" {
+		telemetry.DefaultFlight().SetDump(o.flightDir, "resilienced")
+	}
 	svc := service.New(service.Config{
 		Workers:    o.workers,
 		QueueCap:   o.queueCap,
@@ -117,6 +126,34 @@ func run(o options) error {
 	if err := hs.Shutdown(ctx); err != nil {
 		return fmt.Errorf("resilienced: http shutdown: %w", err)
 	}
+	if o.traceDir != "" {
+		if err := dumpTrace(svc, o.traceDir); err != nil {
+			log.Printf("trace dump failed: %v", err)
+		}
+	}
 	log.Printf("drained clean, exiting")
+	return nil
+}
+
+// dumpTrace writes the merged Chrome trace of this run — the retained
+// wall-clock request spans alongside the last scenario's virtual-time
+// rank tracks — for loading into Perfetto.
+func dumpTrace(svc *service.Server, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace-resilienced-%d.json", os.Getpid()))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := svc.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("merged trace written to %s", path)
 	return nil
 }

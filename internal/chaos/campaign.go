@@ -12,6 +12,7 @@ import (
 	"resilience/internal/fault"
 	"resilience/internal/obs"
 	"resilience/internal/sparse"
+	"resilience/internal/telemetry"
 )
 
 // Options configures a campaign.
@@ -273,6 +274,13 @@ func (rn *Runner) Run(index int, s *Scenario) *Result {
 			Invariant: rn.opts.BreakInvariant,
 			Detail:    "deliberately broken via -break (checker self-test)",
 		})
+	}
+	// Violations also land in the process flight recorder: a campaign that
+	// trips an invariant leaves the recent event timeline in the crash dump
+	// (memory-only unless a dump directory was configured, so stdout — the
+	// determinism oracle — is untouched).
+	for _, v := range res.Violations {
+		telemetry.DefaultFlight().Notef("chaos-violation", "", "%s: %s: %s", s.Args(), v.Invariant, v.Detail)
 	}
 	return res
 }

@@ -38,6 +38,7 @@ import (
 	"resilience/internal/obs"
 	"resilience/internal/platform"
 	"resilience/internal/power"
+	"resilience/internal/telemetry"
 )
 
 // SchedMode selects how the runtime steps its ranks.
@@ -215,14 +216,21 @@ func (rt *Runtime) isExited(rank int) bool {
 // byte-identical with or without a recorder. Must be called before Run.
 func (rt *Runtime) SetRecorder(rec *obs.Recorder) { rt.rec = rec }
 
-// abort records the first failure and unblocks every waiting rank.
+// abort records the first failure and unblocks every waiting rank. The
+// first abort of a run also lands in the process flight recorder, so a
+// stall-protocol trip or deadlock detection inside a service job shows
+// up in the same timeline as the request that carried it.
 func (rt *Runtime) abort(err error) {
 	rt.abortMu.Lock()
-	if rt.abortErr == nil {
+	first := rt.abortErr == nil
+	if first {
 		rt.abortErr = err
 		rt.abortFlag.Store(true)
 	}
 	rt.abortMu.Unlock()
+	if first {
+		telemetry.DefaultFlight().Note("cluster-abort", "", err.Error())
+	}
 	rt.coll.abort()
 	rt.mail.abort()
 }

@@ -23,10 +23,12 @@ const (
 	pidPower = 1
 )
 
-// traceEvent is one entry of the trace-event JSON array. Field order is
+// TraceEvent is one entry of the trace-event JSON array. Field order is
 // fixed by the struct, and encoding/json renders floats in their shortest
-// form, so exports are byte-deterministic for golden tests.
-type traceEvent struct {
+// form, so exports are byte-deterministic for golden tests. It is
+// exported so internal/telemetry can lay wall-clock service tracks
+// alongside the virtual-time tracks in one merged trace.
+type TraceEvent struct {
 	Name string  `json:"name"`
 	Ph   string  `json:"ph"`
 	Ts   float64 `json:"ts"`
@@ -38,7 +40,7 @@ type traceEvent struct {
 }
 
 type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
+	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
@@ -57,15 +59,23 @@ const usPerSec = 1e6
 // meter may be nil; a nil meter (or one built without segment retention)
 // simply omits the counter tracks.
 func WriteChromeTrace(w io.Writer, rec *Recorder, meter *power.Meter) error {
-	var events []traceEvent
+	return WriteTraceEvents(w, Events(rec, meter))
+}
+
+// Events builds the virtual-time trace events — the rank timeline
+// tracks and power counter tracks — without encoding them, so callers
+// (internal/telemetry's merged exporter) can append tracks of their own
+// before writing one document.
+func Events(rec *Recorder, meter *power.Meter) []TraceEvent {
+	var events []TraceEvent
 
 	events = append(events,
-		traceEvent{Name: "process_name", Ph: "M", Pid: pidRanks, Args: nameArg{Name: "ranks"}},
-		traceEvent{Name: "process_name", Ph: "M", Pid: pidPower, Args: nameArg{Name: "power"}},
+		TraceEvent{Name: "process_name", Ph: "M", Pid: pidRanks, Args: nameArg{Name: "ranks"}},
+		TraceEvent{Name: "process_name", Ph: "M", Pid: pidPower, Args: nameArg{Name: "power"}},
 	)
 	if rec != nil {
 		for rank := 0; rank < rec.Ranks(); rank++ {
-			events = append(events, traceEvent{
+			events = append(events, TraceEvent{
 				Name: "thread_name", Ph: "M", Pid: pidRanks, Tid: rank,
 				Args: nameArg{Name: fmt.Sprintf("rank %d", rank)},
 			})
@@ -75,7 +85,12 @@ func WriteChromeTrace(w io.Writer, rec *Recorder, meter *power.Meter) error {
 	if meter != nil {
 		events = append(events, powerEvents(meter)...)
 	}
+	return events
+}
 
+// WriteTraceEvents encodes events as one Chrome trace-event JSON
+// document (the exact bytes WriteChromeTrace has always produced).
+func WriteTraceEvents(w io.Writer, events []TraceEvent) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
@@ -84,16 +99,16 @@ func WriteChromeTrace(w io.Writer, rec *Recorder, meter *power.Meter) error {
 // enclosing span precedes the spans it contains: ascending start time,
 // ties broken by descending duration. sort.SliceStable keeps recording
 // order for exact duplicates, so the export is deterministic.
-func rankEvents(rank int, spans []Span) []traceEvent {
+func rankEvents(rank int, spans []Span) []TraceEvent {
 	sort.SliceStable(spans, func(i, j int) bool {
 		if spans[i].Start != spans[j].Start {
 			return spans[i].Start < spans[j].Start
 		}
 		return spans[i].Dur > spans[j].Dur
 	})
-	evs := make([]traceEvent, len(spans))
+	evs := make([]TraceEvent, len(spans))
 	for i, s := range spans {
-		evs[i] = traceEvent{
+		evs[i] = TraceEvent{
 			Name: s.Kind.String(),
 			Ph:   "X",
 			Ts:   s.Start * usPerSec,
@@ -124,12 +139,12 @@ func spanCategory(k SpanKind) string {
 // aggregate "cluster W" series (a delta-walk over all segment edges) and
 // one "core N W" series per core (piecewise-constant, dropping to zero
 // across gaps). Empty when the meter was built without segment retention.
-func powerEvents(meter *power.Meter) []traceEvent {
+func powerEvents(meter *power.Meter) []TraceEvent {
 	segs := meter.Segments()
 	if len(segs) == 0 {
 		return nil
 	}
-	var evs []traceEvent
+	var evs []TraceEvent
 
 	// Aggregate: sum of active segment watts at each segment edge.
 	type edge struct {
@@ -151,7 +166,7 @@ func powerEvents(meter *power.Meter) []traceEvent {
 		if w < 0 { // guard rounding at the final edge
 			w = 0
 		}
-		evs = append(evs, traceEvent{
+		evs = append(evs, TraceEvent{
 			Name: "cluster W", Ph: "C", Ts: e.t * usPerSec,
 			Pid: pidPower, Args: wattsArg{W: round6(w)},
 		})
@@ -174,13 +189,13 @@ func powerEvents(meter *power.Meter) []traceEvent {
 		name := fmt.Sprintf("core %d W", core)
 		tid := core + 1 // tid 0 is reserved for the aggregate series
 		for i, s := range cs {
-			evs = append(evs, traceEvent{
+			evs = append(evs, TraceEvent{
 				Name: name, Ph: "C", Ts: s.Start * usPerSec,
 				Pid: pidPower, Tid: tid, Args: wattsArg{W: s.Watts},
 			})
 			end := s.End()
 			if i+1 == len(cs) || cs[i+1].Start > end+1e-12 {
-				evs = append(evs, traceEvent{
+				evs = append(evs, TraceEvent{
 					Name: name, Ph: "C", Ts: end * usPerSec,
 					Pid: pidPower, Tid: tid, Args: wattsArg{W: 0},
 				})

@@ -2,16 +2,23 @@ package service
 
 import (
 	"context"
+	"time"
 
 	"resilience/internal/obs"
 )
 
 // job is one admitted request in flight through the queue and pool.
 type job struct {
-	req    JobRequest
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan jobOutcome // buffered(1): the worker never blocks on it
+	req JobRequest
+	// reqID is the request's X-Request-Id, carried through the queue so
+	// the worker's queue/solve spans attribute to the right request.
+	reqID string
+	// enqueued stamps admission; the worker records the queue-residency
+	// span from it when it picks the job up.
+	enqueued time.Time
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan jobOutcome // buffered(1): the worker never blocks on it
 }
 
 // jobOutcome is what a worker hands back to the waiting handler.

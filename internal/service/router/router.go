@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"resilience/internal/service"
+	"resilience/internal/telemetry"
 )
 
 // Config sizes the router. Replicas is the only required field.
@@ -97,10 +98,20 @@ type Router struct {
 	stopHealth chan struct{}
 	healthDone chan struct{}
 
-	routed    atomic.Int64
-	rejected  atomic.Int64
-	rerouted  atomic.Int64
-	noReplica atomic.Int64
+	// The telemetry plane: counters and the forward-latency histogram
+	// live in reg; the /metrics collector scrapes every replica's
+	// /telemetry snapshot and bucket-merges the histograms into true
+	// fleet-wide quantiles. tracer retains recent wall-clock spans;
+	// flight is the process crash flight recorder.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	flight *telemetry.FlightRecorder
+
+	routed    *telemetry.Counter
+	rejected  *telemetry.Counter
+	rerouted  *telemetry.Counter
+	noReplica *telemetry.Counter
+	hForward  *telemetry.HistogramVec // forward round-trip wall seconds
 
 	perMu     sync.Mutex
 	perRouted map[string]int64
@@ -121,6 +132,8 @@ func New(cfg Config) (*Router, error) {
 		stopHealth: make(chan struct{}),
 		healthDone: make(chan struct{}),
 		perRouted:  make(map[string]int64),
+		tracer:     telemetry.NewTracer(4096),
+		flight:     telemetry.DefaultFlight(),
 	}
 	for _, u := range cfg.Replicas {
 		u = strings.TrimRight(u, "/")
@@ -130,17 +143,108 @@ func New(cfg Config) (*Router, error) {
 		rt.members[u] = &member{url: u, alive: true}
 	}
 	rt.reshard()
+	rt.initMetrics()
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("/solve", rt.handleSolve)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("/replicas", rt.handleReplicas)
+	rt.mux.HandleFunc("/telemetry", rt.handleTelemetry)
+	rt.mux.Handle("/debug/flightrecorder", rt.flight)
 	if cfg.HealthEvery > 0 {
 		go rt.healthLoop()
 	} else {
 		close(rt.healthDone)
 	}
 	return rt, nil
+}
+
+// initMetrics builds the registry. Registration order is the exposition
+// order, kept compatible with the hand-rolled /metrics this replaces
+// (resilience_router_routed_total, ..._replica_up{replica=...}, the
+// fleet cache counters); the fleet-quantile lines are new.
+func (rt *Router) initMetrics() {
+	r := telemetry.NewRegistry("resilience_router")
+	rt.reg = r
+	rt.routed = r.Counter("routed_total")
+	rt.rejected = r.Counter("rejected_total")
+	rt.rerouted = r.Counter("rerouted_total")
+	rt.noReplica = r.Counter("no_replica_total")
+	r.GaugeFunc("max_inflight", func() float64 { return float64(rt.cfg.MaxInflight) })
+	r.GaugeFunc("replicas", func() float64 { return float64(len(rt.Members())) })
+	r.GaugeFunc("replicas_alive", func() float64 {
+		n := 0
+		for _, m := range rt.Members() {
+			if m.Alive {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	rt.hForward = r.HistogramVec("forward_seconds", "")
+	r.Collector(rt.exposeFleet)
+}
+
+// exposeFleet renders the per-replica rows and the fleet view: cache
+// counters summed from the legacy text scrape, plus true fleet-wide
+// latency and energy quantiles from exact bucket-merges of every alive
+// replica's /telemetry snapshot. Member order is URL-sorted, so the
+// output is deterministic for a fixed fleet state.
+func (rt *Router) exposeFleet(e *telemetry.Expo) {
+	members := rt.Members()
+	rt.perMu.Lock()
+	routedCopy := make(map[string]int64, len(rt.perRouted))
+	for k, v := range rt.perRouted {
+		routedCopy[k] = v
+	}
+	rt.perMu.Unlock()
+
+	var hits, misses float64
+	var fleet telemetry.Snapshot
+	scraped := 0
+	for _, m := range members {
+		up := int64(0)
+		if m.Alive {
+			up = 1
+		}
+		e.IntL("replica_up", "replica", m.URL, up)
+		e.IntL("replica_routed_total", "replica", m.URL, routedCopy[m.URL])
+		if !m.Alive {
+			continue
+		}
+		if st := rt.scrapeReplica(m.URL); st.scraped {
+			e.LineL("replica_queue_depth", "replica", m.URL, st.queueDepth)
+			hits += st.hits
+			misses += st.misses
+		}
+		if snap, ok := rt.scrapeTelemetry(m.URL); ok {
+			telemetry.Merge(&fleet, snap)
+			scraped++
+		}
+	}
+	e.Int("cache_hits_total", int64(hits))
+	e.Int("cache_misses_total", int64(misses))
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = hits / (hits + misses)
+	}
+	e.Line("cache_hit_ratio", ratio)
+
+	// Fleet quantiles. Because every histogram shares one fixed bucket
+	// layout, the merged quantiles are the true quantiles of the pooled
+	// sample stream — not an average of per-replica quantiles.
+	e.Int("fleet_replicas_scraped", int64(scraped))
+	wall := fleet.Histogram("solve_wall_seconds")
+	e.Int("fleet_solve_wall_seconds_count", int64(wall.Count))
+	e.Line("fleet_solve_wall_seconds_p50", wall.Quantile(0.50))
+	e.Line("fleet_solve_wall_seconds_p95", wall.Quantile(0.95))
+	e.Line("fleet_solve_wall_seconds_p99", wall.Quantile(0.99))
+	for _, h := range fleet.HistogramsNamed("solve_energy_joules") {
+		e.IntL("fleet_solve_energy_joules_count", "scheme", h.Label, int64(h.Count))
+		e.LineL("fleet_solve_energy_joules_p50", "scheme", h.Label, h.Quantile(0.50))
+		e.LineL("fleet_solve_energy_joules_p95", "scheme", h.Label, h.Quantile(0.95))
+		e.LineL("fleet_solve_energy_joules_p99", "scheme", h.Label, h.Quantile(0.99))
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -299,6 +403,14 @@ func (rt *Router) probeOne(url string) (alive bool, reason string) {
 }
 
 func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// Mint or propagate the request ID: the router is usually the fleet
+	// entry point, so IDs are born here (or at resilience-load) and
+	// forwarded to the replica, which echoes them back.
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -327,7 +439,8 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case rt.slots <- struct{}{}:
 	default:
 		rt.admitMu.RUnlock()
-		rt.rejected.Add(1)
+		rt.rejected.Inc()
+		rt.flight.Note("router-rejected", reqID, "router saturated")
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rt.cfg.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests, "router saturated")
 		return
@@ -344,19 +457,20 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	rt.forward(w, req, body)
+	rt.forward(w, req, body, reqID)
 }
 
 // forward routes one job to its replica, failing over (and re-sharding)
 // past dead replicas. Responses — including replica 429s with their
 // Retry-After hints and X-Cache markers — pass through byte-identical.
-func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []byte) {
+func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []byte, reqID string) {
 	key, cacheable, err := service.CanonicalKey(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
+	fwd := rt.tracer.Start("forward", reqID)
 	tried := 0
 	for {
 		rg := rt.ring.Load()
@@ -367,36 +481,47 @@ func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []
 			target = rg.nth(rt.rr.Add(1) - 1)
 		}
 		if target == "" {
-			rt.noReplica.Add(1)
+			fwd.End()
+			rt.noReplica.Inc()
+			rt.flight.Crash("no-replica", reqID, "no replica available")
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rt.cfg.RetryAfter)))
 			writeError(w, http.StatusServiceUnavailable, "no replica available")
 			return
 		}
-		resp, err := rt.client.Post(target+"/solve", "application/json", bytes.NewReader(body))
+		resp, err := rt.post(target, body, reqID)
 		if err != nil {
 			// Transport failure: take the replica off the ring and retry
 			// on the re-sharded ring. Bound attempts by membership size so
 			// a fully-dead fleet terminates.
 			tried++
 			changed := rt.markDown(target, err.Error())
+			if changed {
+				rt.flight.Note("replica-down", reqID, target+": "+err.Error())
+			}
 			if !changed && tried > len(rg.members)+1 {
-				rt.noReplica.Add(1)
+				fwd.End()
+				rt.noReplica.Inc()
+				rt.flight.Crash("all-replicas-unreachable", reqID, err.Error())
 				writeError(w, http.StatusBadGateway, "all replicas unreachable: "+err.Error())
 				return
 			}
-			rt.rerouted.Add(1)
+			rt.rerouted.Inc()
 			continue
 		}
 		respBody, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
 			tried++
-			rt.markDown(target, err.Error())
+			if rt.markDown(target, err.Error()) {
+				rt.flight.Note("replica-down", reqID, target+": "+err.Error())
+			}
 			if tried > len(rg.members)+1 {
+				fwd.End()
+				rt.flight.Crash("replica-torn", reqID, target+": "+err.Error())
 				writeError(w, http.StatusBadGateway, "replica response torn: "+err.Error())
 				return
 			}
-			rt.rerouted.Add(1)
+			rt.rerouted.Inc()
 			continue
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
@@ -405,17 +530,23 @@ func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []
 			// hits are lost, not its correctness.
 			tried++
 			if rt.markDown(target, "replica draining") && tried <= len(rg.members)+1 {
-				rt.rerouted.Add(1)
+				rt.flight.Note("replica-down", reqID, target+": draining")
+				rt.rerouted.Inc()
 				continue
 			}
 			// Nothing changed (already down) or attempts exhausted: pass
 			// the 503 through.
 		}
-		rt.routed.Add(1)
+		rt.hForward.With("").Record(fwd.End().Seconds())
+		rt.routed.Inc()
 		rt.perMu.Lock()
 		rt.perRouted[target]++
 		rt.perMu.Unlock()
-		for _, h := range []string{"Content-Type", "Retry-After", "X-Cache"} {
+		if resp.StatusCode >= 500 {
+			rt.flight.Crash("replica-5xx", reqID,
+				fmt.Sprintf("%s: status %d: %s", target, resp.StatusCode, respBody))
+		}
+		for _, h := range []string{"Content-Type", "Retry-After", "X-Cache", "X-Request-Id"} {
 			if v := resp.Header.Get(h); v != "" {
 				w.Header().Set(h, v)
 			}
@@ -424,6 +555,18 @@ func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []
 		w.Write(respBody)
 		return
 	}
+}
+
+// post sends one forwarded solve with the request ID attached, so the
+// replica's spans and flight-recorder entries share the router's ID.
+func (rt *Router) post(target string, body []byte, reqID string) (*http.Response, error) {
+	hr, err := http.NewRequest(http.MethodPost, target+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("X-Request-Id", reqID)
+	return rt.client.Do(hr)
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -528,59 +671,50 @@ func metricValue(body []byte, name string) float64 {
 	return 0
 }
 
-// handleMetrics renders router counters plus the per-shard (per-replica)
-// queue depths and the fleet-aggregate cache hit rate, scraped live
-// from the replicas.
+// scrapeTelemetry pulls one replica's /telemetry JSON snapshot for the
+// fleet bucket-merge. Failures report ok=false — the fleet view must
+// render even with a dead replica.
+func (rt *Router) scrapeTelemetry(url string) (telemetry.Snapshot, bool) {
+	var snap telemetry.Snapshot
+	resp, err := rt.probe.Get(url + "/telemetry")
+	if err != nil {
+		return snap, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return snap, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, false
+	}
+	return snap, true
+}
+
+// handleMetrics renders the registry — router counters, the forward
+// latency histogram, per-replica rows, and the fleet-merged quantiles —
+// in the Prometheus text format.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	put := func(name string, v any) {
-		fmt.Fprintf(w, "resilience_router_%s %v\n", name, v)
-	}
-	members := rt.Members()
-	alive := 0
-	for _, m := range members {
-		if m.Alive {
-			alive++
-		}
-	}
-	put("routed_total", rt.routed.Load())
-	put("rejected_total", rt.rejected.Load())
-	put("rerouted_total", rt.rerouted.Load())
-	put("no_replica_total", rt.noReplica.Load())
-	put("max_inflight", rt.cfg.MaxInflight)
-	put("replicas", len(members))
-	put("replicas_alive", alive)
+	rt.reg.WritePrometheus(w)
+}
 
-	var hits, misses float64
-	rt.perMu.Lock()
-	routedCopy := make(map[string]int64, len(rt.perRouted))
-	for k, v := range rt.perRouted {
-		routedCopy[k] = v
-	}
-	rt.perMu.Unlock()
-	for _, m := range members {
-		up := 0
-		if m.Alive {
-			up = 1
+// handleTelemetry serves the fleet-merged snapshot: the router's own
+// registry folded together with every alive replica's /telemetry
+// document. Because histograms share one bucket layout, a client (or a
+// router-of-routers) can merge these snapshots again without losing
+// exactness.
+func (rt *Router) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	fleet := rt.reg.Snapshot()
+	for _, m := range rt.Members() {
+		if !m.Alive {
+			continue
 		}
-		fmt.Fprintf(w, "resilience_router_replica_up{replica=%q} %d\n", m.URL, up)
-		fmt.Fprintf(w, "resilience_router_replica_routed_total{replica=%q} %d\n", m.URL, routedCopy[m.URL])
-		if m.Alive {
-			st := rt.scrapeReplica(m.URL)
-			if st.scraped {
-				fmt.Fprintf(w, "resilience_router_replica_queue_depth{replica=%q} %.9g\n", m.URL, st.queueDepth)
-				hits += st.hits
-				misses += st.misses
-			}
+		if snap, ok := rt.scrapeTelemetry(m.URL); ok {
+			telemetry.Merge(&fleet, snap)
 		}
 	}
-	put("cache_hits_total", int64(hits))
-	put("cache_misses_total", int64(misses))
-	ratio := 0.0
-	if hits+misses > 0 {
-		ratio = hits / (hits + misses)
-	}
-	fmt.Fprintf(w, "resilience_router_cache_hit_ratio %.9g\n", ratio)
+	writeJSON(w, http.StatusOK, fleet)
 }
 
 func retryAfterSeconds(d time.Duration) int {

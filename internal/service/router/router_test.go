@@ -228,7 +228,7 @@ func TestRouterSaturation(t *testing.T) {
 		t.Fatalf("unexpected 429 body: %s", body)
 	}
 	<-done
-	if rt.rejected.Load() == 0 {
+	if rt.rejected.Value() == 0 {
 		t.Fatal("router rejection counter never moved")
 	}
 }
@@ -268,7 +268,7 @@ func TestRouterFailover(t *testing.T) {
 	if alive != 1 {
 		t.Fatalf("alive members %d, want 1", alive)
 	}
-	if rt.rerouted.Load() == 0 {
+	if rt.rerouted.Value() == 0 {
 		t.Fatal("failover never rerouted")
 	}
 }

@@ -5,16 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"resilience/internal/obs"
 	"resilience/internal/service/cache"
+	"resilience/internal/telemetry"
 )
 
 // Config sizes the server. The zero value is usable: GOMAXPROCS
@@ -37,6 +38,12 @@ type Config struct {
 	// CacheShards splits the cache into independent lock domains
 	// (<=0: 16; rounded up to a power of two).
 	CacheShards int
+	// Flight is the crash flight recorder the server records into
+	// (nil: telemetry.DefaultFlight()). Disk dumping is governed by the
+	// recorder's own SetDump, typically wired from a -flight-dir flag.
+	Flight *telemetry.FlightRecorder
+	// TraceRing bounds the wall-clock span ring (<=0: 4096 spans).
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +64,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheShards <= 0 {
 		c.CacheShards = 16
+	}
+	if c.Flight == nil {
+		c.Flight = telemetry.DefaultFlight()
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 4096
 	}
 	return c
 }
@@ -118,8 +131,25 @@ type Server struct {
 	inflight sync.WaitGroup // admitted jobs not yet answered
 	workers  sync.WaitGroup
 
-	mu sync.Mutex // guards the Stats fields below
-	st Stats
+	// The telemetry plane: counters and histograms live in reg (served
+	// on /metrics and, as a mergeable JSON snapshot, on /telemetry);
+	// tracer retains the recent wall-clock request spans; flight is the
+	// crash flight recorder.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	flight *telemetry.FlightRecorder
+
+	cAdmitted  *telemetry.Counter
+	cRejected  *telemetry.Counter
+	cCompleted *telemetry.Counter
+	cFailed    *telemetry.Counter
+	hVirtual   *telemetry.HistogramVec // modeled time-to-solution per scheme
+	hWall      *telemetry.HistogramVec // worker wall-clock per scheme/kind
+	hEnergy    *telemetry.HistogramVec // modeled E_res joules per scheme
+
+	mu      sync.Mutex // guards the Stats fields and lastRec below
+	st      Stats
+	lastRec *obs.Recorder // most recent completed scenario run's recorder
 }
 
 // flightOut is one executed job rendered as an HTTP outcome: the status
@@ -136,8 +166,10 @@ type flightOut struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		queue: newQueue(cfg.QueueCap),
+		cfg:    cfg,
+		queue:  newQueue(cfg.QueueCap),
+		tracer: telemetry.NewTracer(cfg.TraceRing),
+		flight: cfg.Flight,
 	}
 	if cfg.CacheCap > 0 {
 		s.results = cache.New[[]byte](cfg.CacheCap, cfg.CacheShards)
@@ -145,15 +177,64 @@ func New(cfg Config) *Server {
 	}
 	s.st.SolveVirtualSec = make(map[string]float64)
 	s.st.SolveWallSec = make(map[string]float64)
+	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.mux.Handle("/debug/flightrecorder", s.flight)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// initMetrics builds the registry. Registration order is the exposition
+// order, kept compatible with the hand-rolled /metrics this replaces:
+// the legacy metric names (resilienced_jobs_admitted_total,
+// resilienced_queue_depth, resilienced_solve_virtual_seconds_total{scheme=...},
+// ...) all survive — the histogram families merely grow _count, _bucket,
+// and quantile lines alongside them.
+func (s *Server) initMetrics() {
+	r := telemetry.NewRegistry("resilienced")
+	s.reg = r
+	s.cAdmitted = r.Counter("jobs_admitted_total")
+	s.cRejected = r.Counter("jobs_rejected_total")
+	s.cCompleted = r.Counter("jobs_completed_total")
+	s.cFailed = r.Counter("jobs_failed_total")
+	r.GaugeFunc("queue_depth", func() float64 { return float64(s.queue.depth()) })
+	r.GaugeFunc("queue_capacity", func() float64 { return float64(s.cfg.QueueCap) })
+	r.GaugeFunc("workers", func() float64 { return float64(s.cfg.Workers) })
+	if s.results != nil {
+		r.GaugeFunc("cache_hits_total", func() float64 { h, _, _ := s.results.Stats(); return float64(h) })
+		r.GaugeFunc("cache_misses_total", func() float64 { _, m, _ := s.results.Stats(); return float64(m) })
+		r.GaugeFunc("cache_evictions_total", func() float64 { _, _, e := s.results.Stats(); return float64(e) })
+		r.GaugeFunc("cache_coalesced_total", func() float64 { _, c := s.flights.Stats(); return float64(c) })
+		r.GaugeFunc("cache_entries", func() float64 { return float64(s.results.Len()) })
+		r.GaugeFunc("cache_capacity", func() float64 { return float64(s.results.Capacity()) })
+		r.GaugeFunc("cache_hit_ratio", func() float64 {
+			h, m, _ := s.results.Stats()
+			if h+m == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+m)
+		})
+	}
+	s.hVirtual = r.HistogramVec("solve_virtual_seconds", "scheme")
+	s.hWall = r.HistogramVec("solve_wall_seconds", "scheme")
+	s.hEnergy = r.HistogramVec("solve_energy_joules", "scheme")
+	r.Collector(func(e *telemetry.Expo) {
+		s.mu.Lock()
+		rk := s.st.Ranks
+		s.mu.Unlock()
+		e.Int("rank_msgs_sent_total", rk.MsgsSent)
+		e.Int("rank_bytes_sent_total", rk.BytesSent)
+		e.Int("rank_collectives_total", rk.Collectives)
+		e.Int("rank_flops_total", rk.Flops)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -187,18 +268,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters. The job counters
+// are registry atomics read without the stats lock; the map fields are
+// deep-copied under it, so a snapshot taken mid-traffic is never torn.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := s.st
-	out.QueueDepth = s.queue.depth()
-	if s.results != nil {
-		out.CacheHits, out.CacheMisses, out.CacheEvictions = s.results.Stats()
-		_, out.Coalesced = s.flights.Stats()
-		out.CacheEntries = s.results.Len()
-		out.CacheCapacity = s.results.Capacity()
-	}
 	out.SolveVirtualSec = make(map[string]float64, len(s.st.SolveVirtualSec))
 	for k, v := range s.st.SolveVirtualSec {
 		out.SolveVirtualSec[k] = v
@@ -207,46 +282,85 @@ func (s *Server) Stats() Stats {
 	for k, v := range s.st.SolveWallSec {
 		out.SolveWallSec[k] = v
 	}
+	s.mu.Unlock()
+	out.Admitted = s.cAdmitted.Value()
+	out.Rejected = s.cRejected.Value()
+	out.Completed = s.cCompleted.Value()
+	out.Failed = s.cFailed.Value()
+	out.QueueDepth = s.queue.depth()
+	if s.results != nil {
+		out.CacheHits, out.CacheMisses, out.CacheEvictions = s.results.Stats()
+		_, out.Coalesced = s.flights.Stats()
+		out.CacheEntries = s.results.Len()
+		out.CacheCapacity = s.results.Capacity()
+	}
 	return out
 }
 
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue.ch {
-		start := time.Now()
+		s.tracer.Record("queue", j.reqID, j.enqueued, time.Since(j.enqueued))
+		sp := s.tracer.Start("solve", j.reqID)
 		res, rec, err := RunJob(j.ctx, j.req)
+		wall := sp.End()
 		j.cancel()
-		s.record(j.req, res, rec, err, time.Since(start))
+		s.record(j.req, res, rec, err, wall, j.reqID)
 		j.done <- jobOutcome{result: res, rec: rec, err: err}
 		s.inflight.Done()
 	}
 }
 
-// record folds one finished job into the service counters.
-func (s *Server) record(req JobRequest, res *JobResult, rec *obs.Recorder, err error, wall time.Duration) {
+// record folds one finished job into the service counters, histograms,
+// and flight-recorder timeline.
+func (s *Server) record(req JobRequest, res *JobResult, rec *obs.Recorder, err error, wall time.Duration, reqID string) {
 	key := req.Kind()
 	if res != nil && res.Scheme != "" {
 		key = res.Scheme
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err != nil {
-		s.st.Failed++
+		s.cFailed.Inc()
+		s.flight.Note("job-failed", reqID, key+": "+err.Error())
 		return
 	}
-	s.st.Completed++
-	s.st.SolveWallSec[key] += wall.Seconds()
+	s.cCompleted.Inc()
+	s.flight.Note("job-done", reqID, key)
+	s.hWall.With(key).Record(wall.Seconds())
+	var virt float64
+	hasVirt := false
 	if res.Time != "" {
 		if v, perr := strconv.ParseFloat(res.Time, 64); perr == nil {
-			s.st.SolveVirtualSec[key] += v
+			virt, hasVirt = v, true
+			s.hVirtual.With(key).Record(v)
 		}
+	}
+	if res.Energy != "" {
+		if v, perr := strconv.ParseFloat(res.Energy, 64); perr == nil {
+			s.hEnergy.With(key).Record(v)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.SolveWallSec[key] += wall.Seconds()
+	if hasVirt {
+		s.st.SolveVirtualSec[key] += virt
 	}
 	if rec != nil {
 		s.st.Ranks = obs.Total([]obs.Metrics{s.st.Ranks, obs.Total(rec.Metrics())})
+		s.lastRec = rec
 	}
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// Request-ID propagation: honor the caller's X-Request-Id (minted by
+	// the router or load generator), mint one for bare requests, and
+	// echo it on every response — success or failure — so a client can
+	// quote the ID a flight-recorder dump will name.
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -265,12 +379,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	if s.results != nil {
 		if key, cacheable, _ := CanonicalKey(req); cacheable {
-			s.solveCached(w, key, req)
+			s.solveCached(w, key, req, reqID)
 			return
 		}
 	}
-	out := s.executeQueued(r.Context(), req)
-	s.writeOutcome(w, out)
+	out := s.executeQueued(r.Context(), req, reqID)
+	s.writeOutcome(w, reqID, out)
 }
 
 // solveCached answers a cacheable job ahead of queue admission: a
@@ -284,14 +398,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // disconnect must not cancel everyone's job. 200-OK bodies are cached;
 // errors and rejections fan out to the current waiters but are never
 // stored.
-func (s *Server) solveCached(w http.ResponseWriter, key string, req JobRequest) {
-	if body, ok := s.results.Get(key); ok {
+func (s *Server) solveCached(w http.ResponseWriter, key string, req JobRequest, reqID string) {
+	look := s.tracer.Start("cache-lookup", reqID)
+	body, ok := s.results.Get(key)
+	look.End()
+	if ok {
 		w.Header().Set("X-Cache", "hit")
 		writeRaw(w, http.StatusOK, body)
 		return
 	}
 	out, _, shared := s.flights.Do(key, func() (flightOut, error) {
-		fo := s.executeQueued(context.Background(), req)
+		fo := s.executeQueued(context.Background(), req, reqID)
 		if fo.code == http.StatusOK {
 			s.results.Put(key, fo.body)
 		}
@@ -302,14 +419,14 @@ func (s *Server) solveCached(w http.ResponseWriter, key string, req JobRequest) 
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
-	s.writeOutcome(w, out)
+	s.writeOutcome(w, reqID, out)
 }
 
 // executeQueued runs req through admission, the bounded queue, and the
 // worker pool, rendering the outcome as exact response bytes. It is the
 // single execution path for direct, cached-miss, and coalesced-leader
 // requests.
-func (s *Server) executeQueued(parent context.Context, req JobRequest) flightOut {
+func (s *Server) executeQueued(parent context.Context, req JobRequest, reqID string) flightOut {
 	timeout := s.cfg.JobTimeout
 	if req.TimeoutMs > 0 {
 		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
@@ -317,29 +434,30 @@ func (s *Server) executeQueued(parent context.Context, req JobRequest) flightOut
 		}
 	}
 	jctx, cancel := context.WithTimeout(parent, timeout)
-	j := &job{req: req, ctx: jctx, cancel: cancel, done: make(chan jobOutcome, 1)}
+	j := &job{req: req, reqID: reqID, ctx: jctx, cancel: cancel, done: make(chan jobOutcome, 1)}
 
+	admit := s.tracer.Start("admission-wait", reqID)
 	s.admitMu.RLock()
 	if s.draining {
 		s.admitMu.RUnlock()
+		admit.End()
 		cancel()
 		return flightOut{code: http.StatusServiceUnavailable, body: errorBody("draining")}
 	}
 	s.inflight.Add(1)
+	j.enqueued = time.Now()
 	admitted := s.queue.tryPush(j)
 	s.admitMu.RUnlock()
+	admit.End()
 
 	if !admitted {
 		s.inflight.Done()
 		cancel()
-		s.mu.Lock()
-		s.st.Rejected++
-		s.mu.Unlock()
+		s.cRejected.Inc()
+		s.flight.Note("job-rejected", reqID, "queue full")
 		return flightOut{code: http.StatusTooManyRequests, body: errorBody("queue full"), retryAfter: true}
 	}
-	s.mu.Lock()
-	s.st.Admitted++
-	s.mu.Unlock()
+	s.cAdmitted.Inc()
 
 	out := <-j.done
 	if out.err != nil {
@@ -349,7 +467,9 @@ func (s *Server) executeQueued(parent context.Context, req JobRequest) flightOut
 		}
 		return flightOut{code: code, body: errorBody(out.err.Error())}
 	}
+	enc := s.tracer.Start("encode", reqID)
 	body, err := json.Marshal(out.result)
+	enc.End()
 	if err != nil {
 		return flightOut{code: http.StatusInternalServerError, body: errorBody(err.Error())}
 	}
@@ -357,8 +477,13 @@ func (s *Server) executeQueued(parent context.Context, req JobRequest) flightOut
 }
 
 // writeOutcome sends a flightOut, attaching the Retry-After hint on
-// backpressure rejections.
-func (s *Server) writeOutcome(w http.ResponseWriter, out flightOut) {
+// backpressure rejections. A 5xx outcome triggers a flight-recorder
+// crash dump (throttled, and only when a dump dir is configured) naming
+// the request ID.
+func (s *Server) writeOutcome(w http.ResponseWriter, reqID string, out flightOut) {
+	if out.code >= 500 {
+		s.flight.Crash("http-5xx", reqID, fmt.Sprintf("status %d: %s", out.code, out.body))
+	}
 	if out.retryAfter {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 	}
@@ -381,53 +506,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics renders the counters in the Prometheus text format,
-// map keys sorted so the output is deterministic.
+// handleMetrics renders the registry in the Prometheus text format —
+// registration order with label values sorted, so the output for a
+// fixed set of values is byte-deterministic.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	put := func(name string, v any) {
-		fmt.Fprintf(w, "resilienced_%s %v\n", name, v)
-	}
-	put("jobs_admitted_total", st.Admitted)
-	put("jobs_rejected_total", st.Rejected)
-	put("jobs_completed_total", st.Completed)
-	put("jobs_failed_total", st.Failed)
-	put("queue_depth", st.QueueDepth)
-	put("queue_capacity", s.cfg.QueueCap)
-	put("workers", s.cfg.Workers)
-	if s.results != nil {
-		put("cache_hits_total", st.CacheHits)
-		put("cache_misses_total", st.CacheMisses)
-		put("cache_evictions_total", st.CacheEvictions)
-		put("cache_coalesced_total", st.Coalesced)
-		put("cache_entries", st.CacheEntries)
-		put("cache_capacity", st.CacheCapacity)
-		ratio := 0.0
-		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
-			ratio = float64(st.CacheHits) / float64(lookups)
-		}
-		fmt.Fprintf(w, "resilienced_cache_hit_ratio %.9g\n", ratio)
-	}
-	for _, k := range sortedKeys(st.SolveVirtualSec) {
-		fmt.Fprintf(w, "resilienced_solve_virtual_seconds_total{scheme=%q} %.9g\n", k, st.SolveVirtualSec[k])
-	}
-	for _, k := range sortedKeys(st.SolveWallSec) {
-		fmt.Fprintf(w, "resilienced_solve_wall_seconds_total{scheme=%q} %.9g\n", k, st.SolveWallSec[k])
-	}
-	put("rank_msgs_sent_total", st.Ranks.MsgsSent)
-	put("rank_bytes_sent_total", st.Ranks.BytesSent)
-	put("rank_collectives_total", st.Ranks.Collectives)
-	put("rank_flops_total", st.Ranks.Flops)
+	s.reg.WritePrometheus(w)
 }
 
-func sortedKeys(m map[string]float64) []string {
-	ks := make([]string, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Strings(ks)
-	return ks
+// handleTelemetry serves the registry as a mergeable JSON snapshot: the
+// router pulls these from every replica and bucket-merges the
+// histograms into true fleet-wide quantiles.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.TelemetrySnapshot())
+}
+
+// TelemetrySnapshot returns the mergeable telemetry snapshot served on
+// /telemetry, for in-process consumers (tests, embedding programs).
+func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
+	return s.reg.Snapshot()
+}
+
+// handleTrace streams the merged Chrome trace: the retained wall-clock
+// request spans laid alongside the most recent scenario run's
+// virtual-time rank tracks. Load it in Perfetto (ui.perfetto.dev).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.WriteTrace(w)
+}
+
+// WriteTrace writes the merged wall-clock + virtual-time Chrome trace
+// document (cmd/resilienced's -trace-dir dump and the /debug/trace
+// endpoint share it).
+func (s *Server) WriteTrace(w io.Writer) error {
+	s.mu.Lock()
+	rec := s.lastRec
+	s.mu.Unlock()
+	return telemetry.WriteMergedChromeTrace(w, s.tracer.Spans(), rec, nil)
 }
 
 func retryAfterSeconds(d time.Duration) int {

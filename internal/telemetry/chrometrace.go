@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+
+	"resilience/internal/obs"
+	"resilience/internal/power"
+)
+
+// The merged Chrome-trace exporter: wall-clock service spans rendered
+// as one process track ("service wall-clock", pid 2, one thread per
+// request), laid alongside the virtual-time rank and power tracks of
+// internal/obs (pids 0 and 1) in a single Perfetto-loadable document.
+// The two clock domains share nothing but the origin: wall timestamps
+// are re-based so the earliest service span starts at t=0, where the
+// virtual tracks also start — so one view shows where the wall-clock
+// request time went (queueing, solving, encoding) above what the
+// simulated ranks were doing inside the solve.
+
+// pidService is the synthetic process id of the wall-clock track,
+// chosen past obs's rank (0) and power (1) processes.
+const pidService = 2
+
+type reqArg struct {
+	ReqID string `json:"req_id"`
+}
+
+// MergedTraceEvents renders spans as wall-clock X events. Spans are
+// grouped by request ID — each distinct request gets its own thread
+// track in first-seen order, so concurrent requests never interleave
+// on one track and the nesting validator holds. Timestamps are
+// microseconds since the earliest span's start.
+func MergedTraceEvents(spans []Span) []obs.TraceEvent {
+	if len(spans) == 0 {
+		return nil
+	}
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		return ordered[i].Dur > ordered[j].Dur
+	})
+	base := ordered[0].Start
+
+	events := []obs.TraceEvent{
+		{Name: "process_name", Ph: "M", Pid: pidService, Args: struct {
+			Name string `json:"name"`
+		}{Name: "service wall-clock"}},
+	}
+	tids := make(map[string]int)
+	for _, s := range ordered {
+		tid, ok := tids[s.ReqID]
+		if !ok {
+			tid = len(tids)
+			tids[s.ReqID] = tid
+			events = append(events, obs.TraceEvent{
+				Name: "thread_name", Ph: "M", Pid: pidService, Tid: tid,
+				Args: struct {
+					Name string `json:"name"`
+				}{Name: "req " + s.ReqID},
+			})
+		}
+		events = append(events, obs.TraceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start-base) / 1e3, // ns -> µs
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  pidService,
+			Tid:  tid,
+			Cat:  "service",
+			Args: reqArg{ReqID: s.ReqID},
+		})
+	}
+	return events
+}
+
+// WriteMergedChromeTrace writes one Chrome trace-event document
+// holding the wall-clock service spans plus the virtual-time rank
+// tracks of rec and power counter tracks of meter (either may be nil).
+// The output passes obs.ValidateChromeTrace and loads in Perfetto with
+// the service process above the rank timelines.
+func WriteMergedChromeTrace(w io.Writer, spans []Span, rec *obs.Recorder, meter *power.Meter) error {
+	events := MergedTraceEvents(spans)
+	events = append(events, obs.Events(rec, meter)...)
+	return obs.WriteTraceEvents(w, events)
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"resilience/internal/obs"
+)
+
+// spansFixture builds two requests' worth of nested wall-clock spans:
+// each request's "request" span encloses queue and solve phases, and
+// the two requests overlap in time (they must land on separate tracks
+// for the trace to nest).
+func spansFixture() []Span {
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC).UnixNano()
+	ms := int64(time.Millisecond)
+	return []Span{
+		{ReqID: "r-1", Name: "request", Start: base, Dur: 50 * ms},
+		{ReqID: "r-1", Name: "queue", Start: base + 1*ms, Dur: 9 * ms},
+		{ReqID: "r-1", Name: "solve", Start: base + 10*ms, Dur: 35 * ms},
+		{ReqID: "r-2", Name: "request", Start: base + 5*ms, Dur: 30 * ms},
+		{ReqID: "r-2", Name: "solve", Start: base + 6*ms, Dur: 25 * ms},
+	}
+}
+
+func TestMergedTraceEventsStructure(t *testing.T) {
+	events := MergedTraceEvents(spansFixture())
+	var xCount int
+	tids := make(map[string]int)
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			continue
+		}
+		if e.Ph != "X" {
+			continue
+		}
+		xCount++
+		if e.Pid != pidService {
+			t.Fatalf("X event on pid %d, want %d", e.Pid, pidService)
+		}
+		arg, ok := e.Args.(reqArg)
+		if !ok {
+			t.Fatalf("X event args = %#v, want reqArg", e.Args)
+		}
+		if prev, seen := tids[arg.ReqID]; seen && prev != e.Tid {
+			t.Fatalf("request %s spans on two tids (%d, %d)", arg.ReqID, prev, e.Tid)
+		}
+		tids[arg.ReqID] = e.Tid
+	}
+	if xCount != 5 {
+		t.Fatalf("got %d X events, want 5", xCount)
+	}
+	if len(tids) != 2 || tids["r-1"] == tids["r-2"] {
+		t.Fatalf("requests share a track: %v", tids)
+	}
+	// Re-based: earliest span starts at ts 0.
+	if events[0].Name != "process_name" {
+		t.Fatalf("first event %+v, want process_name metadata", events[0])
+	}
+}
+
+// TestMergedTraceValidates: the merged document — wall-clock service
+// tracks plus virtual-time rank tracks — passes the obs structural
+// validator, the acceptance criterion for Perfetto loadability.
+func TestMergedTraceValidates(t *testing.T) {
+	rec := obs.NewRecorder()
+	rec.Rank(0).Span(obs.SpanCompute, 0, 1.5)
+	rec.Rank(1).Span(obs.SpanSend, 0.5, 0.25)
+
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, spansFixture(), rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("merged trace fails validation: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"service wall-clock"`, `"ranks"`, `"req r-1"`, `"req_id":"r-2"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged trace missing %q", want)
+		}
+	}
+}
+
+func TestMergedTraceEmptySpans(t *testing.T) {
+	if evs := MergedTraceEvents(nil); evs != nil {
+		t.Fatalf("MergedTraceEvents(nil) = %v, want nil", evs)
+	}
+	// Spans-only merged trace (no recorder/meter) must still validate.
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, spansFixture(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("spans-only merged trace fails validation: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one wall-clock interval attributed to a request: the phases
+// of a solve request's life (admission-wait, cache-lookup, queue,
+// solve, encode) each record one. Start is wall-clock Unix
+// nanoseconds; Dur is measured on the monotonic clock.
+type Span struct {
+	ReqID string `json:"req_id"`
+	Name  string `json:"name"`
+	Start int64  `json:"start_unix_ns"`
+	Dur   int64  `json:"dur_ns"`
+}
+
+// Tracer records spans into a fixed-size ring — the most recent
+// len(ring) spans of the process, cheap enough to leave on in
+// production. Start/End is 0 allocs/op (the ring is preallocated and
+// the strings are references, gated by BenchmarkSpanStartEnd); the
+// ring is mutex-guarded, not lock-free, because span completion is
+// orders of magnitude rarer than histogram records.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span
+	pos  uint64 // total spans ever recorded
+}
+
+// NewTracer returns a tracer retaining the last size spans.
+func NewTracer(size int) *Tracer {
+	if size < 1 {
+		size = 1
+	}
+	return &Tracer{ring: make([]Span, size)}
+}
+
+// ActiveSpan is an in-flight span handle. It is a value: starting a
+// span allocates nothing.
+type ActiveSpan struct {
+	t     *Tracer
+	name  string
+	reqID string
+	start time.Time
+}
+
+// Start opens a span. End records it.
+func (t *Tracer) Start(name, reqID string) ActiveSpan {
+	return ActiveSpan{t: t, name: name, reqID: reqID, start: time.Now()}
+}
+
+// End records the span and returns its duration.
+func (s ActiveSpan) End() time.Duration {
+	d := time.Since(s.start)
+	if s.t != nil {
+		s.t.Record(s.name, s.reqID, s.start, d)
+	}
+	return d
+}
+
+// Record stores an externally-timed span (e.g. queue residency, whose
+// start was stamped by the admitting handler and whose end is observed
+// by the worker).
+func (t *Tracer) Record(name, reqID string, start time.Time, d time.Duration) {
+	t.mu.Lock()
+	slot := &t.ring[t.pos%uint64(len(t.ring))]
+	t.pos++
+	slot.ReqID = reqID
+	slot.Name = name
+	slot.Start = start.UnixNano()
+	slot.Dur = int64(d)
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.copyLocked(func(Span) bool { return true })
+}
+
+// SpansFor returns the retained spans of one request, oldest first.
+func (t *Tracer) SpansFor(reqID string) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.copyLocked(func(s Span) bool { return s.ReqID == reqID })
+}
+
+func (t *Tracer) copyLocked(keep func(Span) bool) []Span {
+	n := t.pos
+	size := uint64(len(t.ring))
+	first := uint64(0)
+	if n > size {
+		first = n - size
+	}
+	var out []Span
+	for i := first; i < n; i++ {
+		s := t.ring[i%size]
+		if s.Name != "" && keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Request-ID minting: <prefix>-<boot entropy>-<counter>. The entropy
+// ties IDs to one process start so IDs from a restarted replica never
+// collide with its predecessor's; the counter makes them unique and
+// ordered within the process.
+var (
+	reqCounter atomic.Uint64
+	reqEntropy = fmt.Sprintf("%08x", uint32(time.Now().UnixNano())^uint32(os.Getpid())<<16)
+)
+
+// NewRequestID mints a process-unique request ID. Components that
+// originate requests (resilience-load, the router, a replica receiving
+// a bare request) mint one and propagate it via the X-Request-Id
+// header; every response echoes it back.
+func NewRequestID() string {
+	return fmt.Sprintf("r-%s-%06d", reqEntropy, reqCounter.Add(1))
+}

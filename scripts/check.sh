@@ -16,7 +16,8 @@ test -z "$(gofmt -l .)"
 go build ./...
 go test ./...
 go vet ./...
-go test -race ./internal/cluster/... ./internal/solver/... ./internal/experiments/...
+go test -race ./internal/cluster/... ./internal/solver/... ./internal/experiments/... \
+    ./internal/service/... ./internal/telemetry/...
 
 # Chaos: a seeded fault campaign (all eight default schemes, 0-3 faults
 # per scenario, full invariant battery) under the race detector. Any
@@ -60,6 +61,14 @@ go test -run '^$' -bench '^BenchmarkCacheGetHit$|^BenchmarkCacheGetMiss$|^Benchm
     -benchmem -benchtime 2000x ./internal/service/cache |
     awk '/^Benchmark/ { if ($(NF-1) != 0) { print "ALLOCATING HOT PATH: " $0; bad = 1 } found++ }
          END { exit (bad || found != 3) }'
+
+# The telemetry hot paths run on every request and every histogram
+# sample; they must stay allocation-free so metrics can never perturb
+# what they measure.
+go test -run '^$' -bench '^BenchmarkHistogramRecord$|^BenchmarkSpanStartEnd$' \
+    -benchmem -benchtime 2000x ./internal/telemetry |
+    awk '/^Benchmark/ { if ($(NF-1) != 0) { print "ALLOCATING HOT PATH: " $0; bad = 1 } found++ }
+         END { exit (bad || found != 2) }'
 
 # Fabric gate: boot a full solve topology — one resilience-router over
 # two deliberately small resilienced replicas — then drive three phases
@@ -110,11 +119,47 @@ curl -s "http://$router_addr/metrics" |
     awk '/^resilience_router_cache_hits_total / { found = ($2 > 0) } END { exit found ? 0 : 1 }' ||
     { echo "router reported no cache hits"; exit 1; }
 
+# Telemetry gate: at each replica, the wall-clock solve histogram must
+# account for exactly the completed jobs (no sample lost, none double-
+# counted), and the router's bucket-merged fleet histogram must equal
+# the sum over replicas.
+completed_of() {
+    curl -s "http://$1/metrics" |
+        awk '/^resilienced_jobs_completed_total / { print $2 }'
+}
+hist_count_of() {
+    curl -s "http://$1/metrics" |
+        awk '/^resilienced_solve_wall_seconds_count\{/ { s += $2 } END { print s + 0 }'
+}
+rep1_done=$(completed_of "$rep1_addr")
+rep2_done=$(completed_of "$rep2_addr")
+test "$(hist_count_of "$rep1_addr")" -eq "$rep1_done"
+test "$(hist_count_of "$rep2_addr")" -eq "$rep2_done"
+fleet_count=$(curl -s "http://$router_addr/metrics" |
+    awk '/^resilience_router_fleet_solve_wall_seconds_count / { print $2 }')
+test "$fleet_count" -eq "$((rep1_done + rep2_done))"
+
 kill -TERM "$router_pid" "$rep1_pid" "$rep2_pid"
 wait "$router_pid" "$rep1_pid" "$rep2_pid"
 grep -q 'drained clean' "$svc_dir/router.log"
 grep -q 'drained clean' "$svc_dir/replica1.log"
 grep -q 'drained clean' "$svc_dir/replica2.log"
+
+# Flight-recorder gate: kill a job mid-solve (1ms deadline on a 5s
+# sleep) against a replica with a dump directory configured. The 504
+# must produce a crash dump on disk naming the request ID.
+"$svc_dir/resilienced" -addr 127.0.0.1:0 -workers 1 -queue 2 \
+    -flight-dir "$svc_dir/flight" > "$svc_dir/flightrep.log" 2>&1 &
+flight_pid=$!
+flight_addr=$(wait_addr "$svc_dir/flightrep.log")
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+    -H 'X-Request-Id: check-flight-1' -H 'Content-Type: application/json' \
+    -d '{"sleep_ms":5000,"timeout_ms":1}' "http://$flight_addr/solve")
+test "$code" -eq 504
+grep -l 'check-flight-1' "$svc_dir"/flight/flight-resilienced-*.json
+kill -TERM "$flight_pid"
+wait "$flight_pid"
+grep -q 'drained clean' "$svc_dir/flightrep.log"
 rm -rf "$svc_dir"
 
 # Perf trajectory: fail on ns/op, allocs/op or bytes/op regressions
