@@ -17,6 +17,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,8 @@ import (
 	"time"
 
 	"resilience"
+	"resilience/internal/chaos"
+	"resilience/internal/chaos/fleet"
 	"resilience/internal/cluster"
 	"resilience/internal/platform"
 	"resilience/internal/power"
@@ -396,6 +399,31 @@ func kernelSuite() []namedBench {
 			})
 			if err != nil {
 				b.Fatal(err)
+			}
+		}},
+		// FleetCampaign drives the chaos-fleet driver end to end against
+		// the in-process oracle: one op is an 8-scenario campaign through
+		// generation, sharded verdict evaluation, and counting, so
+		// ns/op ÷ 8 is the per-scenario fleet-throughput floor with the
+		// transport stripped out (the HTTP path adds codec + router cost
+		// on top of this).
+		{"FleetCampaign/oracle-n8", func(b *testing.B) {
+			opts := fleet.Options{
+				Campaign: chaos.Options{N: 8, Seed: 1},
+				Batch:    4,
+				Workers:  2,
+			}
+			ev := fleet.NewOracle("", 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(context.Background(), opts, ev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Failed > 0 {
+					b.Fatalf("benchmark campaign has %d failing scenarios", rep.Failed)
+				}
 			}
 		}},
 	}

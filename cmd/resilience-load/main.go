@@ -42,11 +42,6 @@ import (
 	"resilience/internal/service"
 )
 
-// seedStride matches the chaos campaign's per-scenario seed derivation
-// (the 32-bit golden ratio), so scenario i here equals scenario i of
-// `chaos -seed S`.
-const seedStride = 0x9E3779B9
-
 // options carries every run parameter; tests fill it directly.
 type options struct {
 	addr      string
@@ -131,8 +126,10 @@ func runStream(client *http.Client, o options, out io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				rng := rand.New(rand.NewSource(o.seed + int64(i)*seedStride))
-				s := chaos.NewScenario(rng, chaos.Options{MaxFaults: o.maxFaults})
+				// chaos.ScenarioAt is the campaign-wide generation path:
+				// scenario i here equals scenario i of `chaos -seed S` and of
+				// a chaos-fleet campaign with the same seed.
+				s := chaos.ScenarioAt(chaos.Options{Seed: o.seed, MaxFaults: o.maxFaults}, i)
 				req := service.JobRequest{Scenario: s.Args(), TimeoutMs: o.timeoutMs}
 				oracleRes, _, err := service.RunJob(context.Background(), req)
 				if err != nil {
@@ -192,8 +189,7 @@ func runDupPhase(client *http.Client, o options, out io.Writer) error {
 	uniq := make([]service.JobRequest, o.dupUnique)
 	oracle := make([][]byte, o.dupUnique)
 	for i := range uniq {
-		rng := rand.New(rand.NewSource(o.seed + int64(o.n+i)*seedStride))
-		s := chaos.NewScenario(rng, chaos.Options{MaxFaults: o.maxFaults})
+		s := chaos.ScenarioAt(chaos.Options{Seed: o.seed, MaxFaults: o.maxFaults}, o.n+i)
 		uniq[i] = service.JobRequest{Scenario: s.Args(), TimeoutMs: o.timeoutMs}
 		res, _, err := service.RunJob(context.Background(), uniq[i])
 		if err != nil {

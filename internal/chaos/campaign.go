@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -54,9 +55,22 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// seedStride decorrelates per-scenario seeds (the 32-bit golden ratio,
-// the usual splitmix increment).
-const seedStride = 0x9E3779B9
+// SeedStride decorrelates per-scenario seeds (the 32-bit golden ratio,
+// the usual splitmix increment). Scenario i of a campaign is generated
+// from Seed + i*SeedStride, so any index subrange regenerates alone —
+// the property the distributed fleet shards on.
+const SeedStride = 0x9E3779B9
+
+// ScenarioAt deterministically derives campaign scenario i from the
+// campaign options. It is the single generation path shared by the
+// in-process campaign runner, the load generator, and the distributed
+// fleet driver: the same (Seed, i) names the same scenario everywhere,
+// independent of worker count, shard assignment, or arrival order.
+func ScenarioAt(opts Options, i int) *Scenario {
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed + int64(i)*SeedStride))
+	return NewScenario(rng, o)
+}
 
 // NewScenario draws one randomized scenario from rng. The generator
 // deliberately concentrates probability mass on the hard cases from the
@@ -233,13 +247,30 @@ func (rn *Runner) faultFree(s *Scenario) (*core.RunReport, error) {
 		return nil, err
 	}
 	rn.mu.Lock()
-	rn.ffCache[key] = rep
+	// The cache is keyed by (grid, ranks, tol, jacobi); tol is
+	// client-controlled when a Runner serves network verdict jobs, so cap
+	// residency instead of trusting the key space to stay small. Past the
+	// cap, baselines are recomputed — pure slowdown, never a result change.
+	if len(rn.ffCache) < ffCacheCap {
+		rn.ffCache[key] = rep
+	}
 	rn.mu.Unlock()
 	return rep, nil
 }
 
+// ffCacheCap bounds the fault-free baseline cache of a long-lived Runner.
+const ffCacheCap = 1024
+
 // Run executes one scenario and its invariant battery.
 func (rn *Runner) Run(index int, s *Scenario) *Result {
+	return rn.RunContext(context.Background(), index, s)
+}
+
+// RunContext is Run honoring ctx for cancellation and deadlines on the
+// main scenario run — the entry point the service's verdict-bearing jobs
+// use, so a fleet campaign's per-job timeouts cut solves short instead of
+// holding workers.
+func (rn *Runner) RunContext(ctx context.Context, index int, s *Scenario) *Result {
 	res := &Result{Index: index, Scenario: s}
 	if err := s.Validate(); err != nil {
 		res.Err = err
@@ -258,7 +289,7 @@ func (rn *Runner) Run(index int, s *Scenario) *Result {
 	}
 	rec := obs.NewRecorder()
 	cfg.Obs = rec
-	rep, err := core.Run(cfg)
+	rep, err := core.RunContext(ctx, cfg)
 	if err != nil {
 		res.Err = err
 		return res
@@ -270,10 +301,7 @@ func (rn *Runner) Run(index int, s *Scenario) *Result {
 		res.Violations = append(res.Violations, rn.recheck(s, a, b, rep)...)
 	}
 	if rn.opts.BreakInvariant != "" && len(s.Faults) > 0 {
-		res.Violations = append(res.Violations, Violation{
-			Invariant: rn.opts.BreakInvariant,
-			Detail:    "deliberately broken via -break (checker self-test)",
-		})
+		res.Violations = append(res.Violations, SelfTestViolation(rn.opts.BreakInvariant))
 	}
 	// Violations also land in the process flight recorder: a campaign that
 	// trips an invariant leaves the recent event timeline in the crash dump
@@ -355,9 +383,9 @@ func bitEqual(a, b []float64) bool {
 // RunCampaign generates and runs opts.N scenarios. Results come back in
 // scenario order regardless of worker count, so campaign output is
 // byte-identical for any parallelism. Scenario i's generator is seeded
-// with opts.Seed + i*seedStride, so a campaign is a set of independently
-// replayable runs, not one serial random stream — any subrange can be
-// re-examined alone.
+// with opts.Seed + i*SeedStride (see ScenarioAt), so a campaign is a set
+// of independently replayable runs, not one serial random stream — any
+// subrange can be re-examined alone.
 func RunCampaign(opts Options) []*Result {
 	o := opts.withDefaults()
 	rn := NewRunner(o)
@@ -369,8 +397,7 @@ func RunCampaign(opts Options) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rng := rand.New(rand.NewSource(o.Seed + int64(i)*seedStride))
-				results[i] = rn.Run(i, NewScenario(rng, o))
+				results[i] = rn.Run(i, ScenarioAt(o, i))
 			}
 		}()
 	}

@@ -14,7 +14,7 @@ import (
 // seed so a failure replays with -run 'TestScenarioArgsRoundTrip/seed=N'.
 func TestScenarioArgsRoundTrip(t *testing.T) {
 	for i := 0; i < 200; i++ {
-		seed := int64(1) + int64(i)*seedStride
+		seed := int64(1) + int64(i)*SeedStride
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			s := NewScenario(rand.New(rand.NewSource(seed)), Options{})
 			args := s.Args()

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CorpusEntry is one distilled "interesting" scenario: a canonical
+// replay flag string plus the sorted reasons the distiller kept it
+// (multi-fault, swo-compound, near-budget, slow-converge, dup-key, ...).
+// The committed corpus under testdata/corpus seeds the native fuzz
+// targets and gives future schemes a hard regression set to start from.
+type CorpusEntry struct {
+	Args    string
+	Reasons []string
+}
+
+// WriteCorpus renders entries in the corpus file format: one line per
+// scenario, reasons comma-joined, a tab, then the replay string. Lines
+// starting with '#' are comments. The rendering is deterministic for a
+// fixed entry list.
+func WriteCorpus(w io.Writer, entries []CorpusEntry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# distilled chaos corpus: reasons<TAB>replay flag string")
+	fmt.Fprintln(bw, "# regenerate with: go run ./cmd/chaos-fleet -oracle -corpus-out <path>")
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", strings.Join(e.Reasons, ","), e.Args); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus parses the corpus file format back into entries, validating
+// every replay string through the scenario codec — a corpus line that no
+// longer parses is a hard error, not a silent skip.
+func ReadCorpus(r io.Reader) ([]CorpusEntry, error) {
+	var out []CorpusEntry
+	sc := bufio.NewScanner(r)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		reasons, args, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("chaos: corpus line %d has no tab separator: %q", ln, line)
+		}
+		if _, err := ParseArgs(args); err != nil {
+			return nil, fmt.Errorf("chaos: corpus line %d: %w", ln, err)
+		}
+		out = append(out, CorpusEntry{Args: args, Reasons: strings.Split(reasons, ",")})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

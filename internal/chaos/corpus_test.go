@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+)
+
+const distilledCorpus = "testdata/corpus/distilled.txt"
+
+// readDistilled loads the committed fleet-distilled corpus.
+func readDistilled(t testing.TB) []CorpusEntry {
+	t.Helper()
+	f, err := os.Open(distilledCorpus)
+	if err != nil {
+		t.Fatalf("committed corpus missing: %v (regenerate with go run ./cmd/chaos-fleet -oracle -corpus-out %s)", err, distilledCorpus)
+	}
+	defer f.Close()
+	entries, err := ReadCorpus(f)
+	if err != nil {
+		t.Fatalf("committed corpus does not parse: %v", err)
+	}
+	return entries
+}
+
+// TestDistilledCorpus validates the committed corpus the fleet driver
+// distilled: enough entries to be worth seeding fuzzers with, every
+// entry a canonical codec fixpoint with at least one classifier reason,
+// and no duplicate scenarios (the distiller merges duplicates into one
+// entry with a dup-key reason).
+func TestDistilledCorpus(t *testing.T) {
+	entries := readDistilled(t)
+	if len(entries) < 20 {
+		t.Fatalf("corpus has %d entries, want >= 20 — rerun the distiller over a bigger campaign", len(entries))
+	}
+	seen := make(map[string]bool, len(entries))
+	for i, e := range entries {
+		if len(e.Reasons) == 0 {
+			t.Fatalf("entry %d %q has no reasons", i, e.Args)
+		}
+		if seen[e.Args] {
+			t.Fatalf("entry %d %q duplicated — distiller dedupe is broken", i, e.Args)
+		}
+		seen[e.Args] = true
+		s, err := ParseArgs(e.Args)
+		if err != nil {
+			t.Fatalf("entry %d does not parse: %v", i, err)
+		}
+		if s.Args() != e.Args {
+			t.Fatalf("entry %d is not canonical:\n in: %s\nout: %s", i, e.Args, s.Args())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("entry %d invalid: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+
+	"resilience/internal/chaos"
+)
+
+// maxCorpus caps the distilled corpus: enough to seed the fuzz targets
+// densely, small enough to review in a diff.
+const maxCorpus = 64
+
+// Distill selects a campaign's "interesting" scenarios for the
+// committed fuzz corpus. A scenario is kept when any classifier fires:
+//
+//   - violation: the verdict failed the invariant battery (the whole
+//     point of the corpus — confirmed bug inputs never rot away)
+//   - multi-fault: two or more faults (compound recovery paths)
+//   - swo-compound: a system-wide outage plus another fault (the
+//     stale-restore bug class)
+//   - multi-rank-simultaneous: distinct ranks struck at one iteration
+//     (the collective-recovery path)
+//   - near-budget: the run finished within 10% of its iteration budget
+//     (one recovery regression away from a spurious expected-failure)
+//   - slow-converge: converged but took at least twice the system size
+//     in iterations (heavy recovery churn)
+//   - near-tol: converged with a residual within 4x of the tolerance
+//     (margin thin enough that a single-ULP change flips the verdict)
+//   - dup-key: the canonical args appeared earlier in the campaign
+//     (cache-adversarial — exercises the content-addressed dedup path)
+//
+// Entries are deduplicated by canonical args (first index wins, reasons
+// merged), ordered by campaign index, and capped at maxCorpus — all
+// deterministic, so regeneration from the same campaign is a no-op diff.
+func Distill(opts chaos.Options, lines []string) ([]chaos.CorpusEntry, error) {
+	firstAt := make(map[string]int, len(lines))
+	reasonsOf := make(map[string][]string)
+	var order []string
+	for i, line := range lines {
+		v, err := chaos.ParseVerdict(line)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: distill scenario %d: %w", i, err)
+		}
+		s, err := chaos.ParseArgs(v.Args)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: distill scenario %d: %w", i, err)
+		}
+		reasons := classify(s, v)
+		if _, seen := firstAt[v.Args]; seen {
+			reasons = append(reasons, "dup-key")
+			reasonsOf[v.Args] = mergeReasons(reasonsOf[v.Args], reasons)
+			continue
+		}
+		if len(reasons) == 0 {
+			continue
+		}
+		firstAt[v.Args] = i
+		reasonsOf[v.Args] = reasons
+		order = append(order, v.Args)
+	}
+	if len(order) > maxCorpus {
+		order = order[:maxCorpus]
+	}
+	out := make([]chaos.CorpusEntry, len(order))
+	for i, args := range order {
+		out[i] = chaos.CorpusEntry{Args: args, Reasons: reasonsOf[args]}
+	}
+	return out, nil
+}
+
+// classify returns the reasons a scenario is corpus-worthy, in a fixed
+// order (the corpus file is diffed, so ordering is part of the format).
+func classify(s *chaos.Scenario, v *chaos.Verdict) []string {
+	var reasons []string
+	if v.Status == chaos.StatusFail {
+		reasons = append(reasons, "violation")
+	}
+	if len(s.Faults) >= 2 {
+		reasons = append(reasons, "multi-fault")
+		hasSWO := false
+		for _, f := range s.Faults {
+			if f.Class.String() == "SWO" {
+				hasSWO = true
+				break
+			}
+		}
+		if hasSWO {
+			reasons = append(reasons, "swo-compound")
+		}
+		for i := 1; i < len(s.Faults); i++ {
+			if s.Faults[i].Iter == s.Faults[i-1].Iter && s.Faults[i].Rank != s.Faults[i-1].Rank {
+				reasons = append(reasons, "multi-rank-simultaneous")
+				break
+			}
+		}
+	}
+	if v.RelRes != "" { // the run produced a report
+		if max := s.MaxIters(); v.Iters*10 >= max*9 {
+			reasons = append(reasons, "near-budget")
+		}
+		if v.Converged && v.Iters >= 2*s.N() {
+			reasons = append(reasons, "slow-converge")
+		}
+		if rr, err := strconv.ParseFloat(v.RelRes, 64); err == nil &&
+			v.Converged && rr*4 >= s.Tol {
+			reasons = append(reasons, "near-tol")
+		}
+	}
+	return reasons
+}
+
+// mergeReasons appends the reasons of add not already in base, keeping
+// base's order.
+func mergeReasons(base, add []string) []string {
+	have := make(map[string]bool, len(base))
+	for _, r := range base {
+		have[r] = true
+	}
+	for _, r := range add {
+		if !have[r] {
+			base = append(base, r)
+			have[r] = true
+		}
+	}
+	return base
+}

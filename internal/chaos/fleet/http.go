@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"resilience/internal/chaos"
+	"resilience/internal/service"
+)
+
+// Client evaluates scenario batches against a live fleet: a
+// resilience-router (preferred — one POST /batch per batch, fanned out
+// across replicas by the consistent-hash ring) or a bare resilienced
+// replica (automatic fallback to per-item POST /solve when the target
+// has no /batch). Backpressured items — 429s and transient 5xx — are
+// retried per item, so replica churn and queue saturation cost time,
+// never verdicts. Safe for concurrent use.
+type Client struct {
+	// Base is the router or replica base URL (http://host:port).
+	Base string
+	// BreakInvariant is sent as each job's break_invariant field.
+	BreakInvariant string
+	// HTTP is the transport (nil: a 5-minute-timeout client).
+	HTTP *http.Client
+	// MaxRetries bounds per-item retries of backpressured responses
+	// (<=0: 240).
+	MaxRetries int
+	// RetrySleep is the pause between per-item retries (<=0: 25 ms).
+	RetrySleep time.Duration
+
+	noBatch atomic.Bool // target answered 404/405 on /batch: use /solve
+}
+
+// NewClient builds an HTTP evaluator for the fleet at base.
+func NewClient(base, breakInvariant string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), BreakInvariant: breakInvariant}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 240
+}
+
+func (c *Client) retrySleep() time.Duration {
+	if c.RetrySleep > 0 {
+		return c.RetrySleep
+	}
+	return 25 * time.Millisecond
+}
+
+// wireItem mirrors the router's /batch response element.
+type wireItem struct {
+	Code int             `json:"code"`
+	Body json.RawMessage `json:"body"`
+}
+
+// Evaluate implements Evaluator: one round-trip for the whole batch when
+// the target speaks /batch, per-item /solve otherwise, with per-item
+// retry of backpressured responses either way.
+func (c *Client) Evaluate(ctx context.Context, scenarios []*chaos.Scenario) ([]string, error) {
+	reqs := make([]service.JobRequest, len(scenarios))
+	for i, s := range scenarios {
+		reqs[i] = service.JobRequest{Scenario: s.Args(), Verdict: true, BreakInvariant: c.BreakInvariant}
+	}
+	items, err := c.postBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(reqs))
+	for i := range reqs {
+		line, err := c.finishItem(ctx, reqs[i], items[i])
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", reqs[i].Scenario, err)
+		}
+		out[i] = line
+	}
+	return out, nil
+}
+
+// postBatch submits the batch, falling back to per-item /solve when the
+// target has no /batch endpoint, and retrying whole-batch backpressure
+// (a saturated router rejects the batch before fanning it out).
+func (c *Client) postBatch(ctx context.Context, reqs []service.JobRequest) ([]wireItem, error) {
+	if c.noBatch.Load() {
+		return c.solveAll(ctx, reqs)
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		code, respBody, err := c.post(ctx, "/batch", body)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case code == http.StatusOK:
+			var items []wireItem
+			if err := json.Unmarshal(respBody, &items); err != nil {
+				return nil, fmt.Errorf("fleet: bad batch response: %w", err)
+			}
+			if len(items) != len(reqs) {
+				return nil, fmt.Errorf("fleet: batch answered %d items for %d requests", len(items), len(reqs))
+			}
+			return items, nil
+		case code == http.StatusNotFound || code == http.StatusMethodNotAllowed:
+			// A bare replica: it solves, it just doesn't batch.
+			c.noBatch.Store(true)
+			return c.solveAll(ctx, reqs)
+		case retryable(code) && attempt < c.maxRetries():
+			if err := sleepCtx(ctx, c.retrySleep()); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("fleet: batch status %d: %s", code, respBody)
+		}
+	}
+}
+
+// solveAll is the no-/batch fallback: sequential per-item /solve posts
+// shaped into batch items. (Concurrency comes from the driver running
+// multiple batches; this path exists for bare replicas and tests.)
+func (c *Client) solveAll(ctx context.Context, reqs []service.JobRequest) ([]wireItem, error) {
+	items := make([]wireItem, len(reqs))
+	for i := range reqs {
+		body, err := json.Marshal(reqs[i])
+		if err != nil {
+			return nil, err
+		}
+		code, respBody, err := c.post(ctx, "/solve", body)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = wireItem{Code: code, Body: respBody}
+	}
+	return items, nil
+}
+
+// finishItem extracts one item's verdict line, retrying backpressured
+// items individually through /solve until they land or the retry budget
+// is gone. Retries re-enter through the router's normal routing path, so
+// an item whose replica died mid-campaign re-shards to a survivor.
+func (c *Client) finishItem(ctx context.Context, req service.JobRequest, item wireItem) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	for attempt := 0; ; attempt++ {
+		if item.Code == http.StatusOK {
+			var res service.JobResult
+			if err := json.Unmarshal(item.Body, &res); err != nil {
+				return "", fmt.Errorf("fleet: bad job result: %w", err)
+			}
+			if res.Verdict == "" {
+				return "", fmt.Errorf("fleet: job result carries no verdict: %s", item.Body)
+			}
+			return res.Verdict, nil
+		}
+		if !retryable(item.Code) || attempt >= c.maxRetries() {
+			return "", fmt.Errorf("fleet: item status %d: %s", item.Code, item.Body)
+		}
+		if err := sleepCtx(ctx, c.retrySleep()); err != nil {
+			return "", err
+		}
+		code, respBody, err := c.post(ctx, "/solve", body)
+		if err != nil {
+			return "", err
+		}
+		item = wireItem{Code: code, Body: respBody}
+	}
+}
+
+// retryable classifies backpressure and transient fleet churn: queue
+// saturation (429), draining or no-replica windows (503), and forward
+// failures while the ring re-shards (502). 4xx validation errors and
+// 504 deadlines are permanent for the same request.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusBadGateway
+}
+
+func (c *Client) post(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -6,8 +6,13 @@ import "testing"
 // fails to parse, or parses to a scenario whose canonical encoding is a
 // fixpoint of ParseArgs — Parse(Encode(Parse(x))) == Parse(x). The seed
 // corpus (also checked in under testdata/fuzz) covers every flag, all
-// fault classes, clustered faults, and near-miss malformed inputs.
+// fault classes, clustered faults, and near-miss malformed inputs, plus
+// every scenario the fleet distilled as interesting from a real
+// campaign (testdata/corpus/distilled.txt).
 func FuzzScenarioArgs(f *testing.F) {
+	for _, e := range readDistilled(f) {
+		f.Add(e.Args)
+	}
 	f.Add("")
 	f.Add("-grid 8 -ranks 4 -scheme LI-DVFS -tol 1e-10 -ckpt 6 -detect 2 -seed 7 -overlap -faults SNF@5:r2,SDC@9:r0")
 	f.Add("-grid 6 -ranks 1 -scheme CR-M -tol 1e-08 -ckpt 2 -detect 0 -seed 1 -jacobi")

@@ -19,7 +19,7 @@ func Shrink(s *Scenario, fails func(*Scenario) bool) *Scenario {
 	budget := maxShrinkRuns
 	for improved := true; improved && budget > 0; {
 		improved = false
-		for _, cand := range shrinkCandidates(cur) {
+		for _, cand := range ShrinkCandidates(cur) {
 			if budget--; budget <= 0 {
 				break
 			}
@@ -44,9 +44,12 @@ func cloneScenario(s *Scenario) *Scenario {
 	return &out
 }
 
-// shrinkCandidates returns the one-step simplifications of s, most
+// ShrinkCandidates returns the one-step simplifications of s, most
 // aggressive first (dropping whole faults beats nudging their fields).
-func shrinkCandidates(s *Scenario) []*Scenario {
+// Candidates may be invalid (callers filter through Validate); each is an
+// independent clone, safe to evaluate in parallel — the distributed fleet
+// evaluates a whole pass as one batch of server-side verdict jobs.
+func ShrinkCandidates(s *Scenario) []*Scenario {
 	var cands []*Scenario
 	mod := func(f func(*Scenario)) {
 		c := cloneScenario(s)

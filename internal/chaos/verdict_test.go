@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestVerdictRoundTrip pins the verdict wire codec: Encode and
+// ParseVerdict invert each other exactly across hand-picked edge cases.
+func TestVerdictRoundTrip(t *testing.T) {
+	cases := []Verdict{
+		{Status: StatusOK, Args: "-grid 6 -ranks 2 -scheme LI -tol 1e-10 -ckpt 0 -detect 0 -seed 1"},
+		{Status: StatusExpected, Args: "-grid 6 -ranks 1 -scheme F0 -tol 1e-10 -ckpt 0 -detect 0 -seed 1 -faults SNF@1:r0",
+			Expected: "budget-exhausted: F0 under a hard-fault barrage",
+			Iters:    999, Converged: false, RelRes: HexFloat(0.25), Time: HexFloat(1.5), Energy: HexFloat(2.0),
+			SolutionHash: "0123456789abcdef", HistoryHash: "fedcba9876543210"},
+		{Status: StatusFail, Args: `-grid 4 -ranks 1 -scheme CR-M -tol 1e-10 -ckpt 8 -detect 0 -seed 1 -faults SWO@1:r0`,
+			Violations: []string{`convergence: relres 3.0e-01 above "tolerance"`, "clock-monotone: rank 0 went backwards"}},
+		{Status: StatusFail, Args: "quoted \"args\" with\ttabs and \\ backslashes",
+			Violations: []string{"run-error: boom"}},
+		{Status: StatusOK, Args: "x",
+			Iters: 1, Converged: true, RelRes: HexFloat(math.SmallestNonzeroFloat64),
+			Time: HexFloat(0), Energy: HexFloat(math.MaxFloat64),
+			SolutionHash: "0000000000000000", HistoryHash: "ffffffffffffffff"},
+	}
+	for i, v := range cases {
+		line := v.Encode()
+		back, err := ParseVerdict(line)
+		if err != nil {
+			t.Fatalf("case %d: %q does not parse: %v", i, line, err)
+		}
+		if back.Encode() != line {
+			t.Fatalf("case %d: re-encode differs\n in: %s\nout: %s", i, line, back.Encode())
+		}
+		if back.Status != v.Status || back.Args != v.Args || back.Expected != v.Expected ||
+			back.Iters != v.Iters || back.Converged != v.Converged || back.RelRes != v.RelRes ||
+			len(back.Violations) != len(v.Violations) {
+			t.Fatalf("case %d: fields did not round-trip:\n in: %+v\nout: %+v", i, v, back)
+		}
+	}
+}
+
+// TestVerdictRoundTripGenerated round-trips verdicts of real campaign
+// results: every VerdictOf encoding must parse back to an identical
+// re-encoding, and the status must agree with the result.
+func TestVerdictRoundTripGenerated(t *testing.T) {
+	rn := NewRunner(Options{})
+	opts := Options{Seed: 3}
+	for i := 0; i < 12; i++ {
+		s := ScenarioAt(opts, i)
+		res := rn.Run(i, s)
+		v := VerdictOf(res)
+		line := v.Encode()
+		back, err := ParseVerdict(line)
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		if back.Encode() != line {
+			t.Fatalf("scenario %d: not a fixpoint\n in: %s\nout: %s", i, line, back.Encode())
+		}
+		if (back.Status == StatusFail) != res.Failed() {
+			t.Fatalf("scenario %d: status %q disagrees with Failed()=%t", i, back.Status, res.Failed())
+		}
+		if back.Args != s.Args() {
+			t.Fatalf("scenario %d: verdict args %q != scenario args %q", i, back.Args, s.Args())
+		}
+	}
+}
+
+// TestParseVerdictRejects pins the codec's validation: structural lies
+// (fail with no violations, report fields without relres, torn quotes,
+// unknown fields) are hard errors, never best-effort parses.
+func TestParseVerdictRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"v0 status=ok args=\"x\"",
+		"v1 status=meh args=\"x\"",
+		"v1 args=\"x\"",
+		"v1 status=fail args=\"x\"", // fail without violations
+		"v1 status=ok args=\"x\" violation=\"y: z\"",              // violations without fail
+		"v1 status=ok args=\"x\" iters=3",                         // report without relres
+		"v1 status=ok args=\"x\" iters=abc",                       //
+		"v1 status=ok args=\"x\" relres=zz",                       //
+		"v1 status=ok args=\"torn",                                // torn quote
+		"v1 status=ok args=\"x\" wholenew=\"y\"",                  // unknown field
+		"v1 status=ok args=\"x\" noequals",                        //
+		"v1 status=fail args=\"x\" violation=\"a\" status=broken", // second bad status
+	}
+	for _, line := range bad {
+		if v, err := ParseVerdict(line); err == nil {
+			t.Errorf("ParseVerdict accepted %q as %+v", line, v)
+		}
+	}
+}
+
+// TestHexFloatHashFloats pins the bitwise helpers the verdict codec (and
+// the service's JSON results) are built on.
+func TestHexFloatHashFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		x := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(x) {
+			continue
+		}
+		s := HexFloat(x)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("HexFloat(%v) = %q does not parse: %v", x, s, err)
+		}
+		if math.Float64bits(back) != math.Float64bits(x) {
+			t.Fatalf("HexFloat round-trip lost bits: %v -> %q -> %v", x, s, back)
+		}
+	}
+	a := HashFloats([]float64{1, 2, 3})
+	if b := HashFloats([]float64{1, 2, 3}); b != a {
+		t.Fatalf("HashFloats not deterministic: %s != %s", a, b)
+	}
+	if b := HashFloats([]float64{1, 2, 3 + 1e-15}); b == a {
+		t.Fatal("HashFloats insensitive to a ULP-scale change")
+	}
+	if b := HashFloats([]float64{1, 2}); b == a {
+		t.Fatal("HashFloats insensitive to length")
+	}
+	if len(a) != 16 || strings.ToLower(a) != a {
+		t.Fatalf("HashFloats format drifted: %q", a)
+	}
+}

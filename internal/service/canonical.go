@@ -32,6 +32,9 @@ const canonicalVersion = "j1"
 //     exactly the order fault.NewScheduleAt executes them in — so
 //     listings that differ only in cross-iteration order unify, while
 //     same-iteration order (which changes execution) is preserved.
+//   - Verdict jobs normalize like scenario jobs but key under a distinct
+//     "verdict" kind (the response carries the invariant battery's
+//     verdict), with the break-invariant self-test hook keyed in.
 //   - Experiment jobs: the scale name is normalized ("" means tiny) and
 //     a zero seed is resolved to the experiment default, so explicit and
 //     elided defaults unify. Workers is excluded: the experiment engine
@@ -52,6 +55,13 @@ func CanonicalKey(req JobRequest) (key string, cacheable bool, err error) {
 		}
 		s.Scheme = canonicalSchemeName(spec)
 		sort.SliceStable(s.Faults, func(i, j int) bool { return s.Faults[i].Iter < s.Faults[j].Iter })
+		if req.Verdict {
+			// Verdict jobs answer with the invariant battery's verdict, so
+			// they can never alias a plain scenario key; the break-invariant
+			// self-test hook changes the verdict and keys separately.
+			// Invariant names are a fixed identifier set — no '|' collisions.
+			return canonicalVersion + "|verdict|" + req.BreakInvariant + "|" + s.Args(), true, nil
+		}
 		return canonicalVersion + "|scenario|" + s.Args(), true, nil
 	case "experiment":
 		if _, ok := experiments.Get(req.Experiment); !ok {

@@ -13,11 +13,7 @@ package service
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"math"
-	"strconv"
 	"time"
 
 	"resilience/internal/chaos"
@@ -41,6 +37,19 @@ import (
 type JobRequest struct {
 	// Scenario is a chaos replay flag string (see chaos.ParseArgs).
 	Scenario string `json:"scenario,omitempty"`
+
+	// Verdict upgrades a scenario job to a campaign verdict job: the
+	// replica runs the scenario AND the chaos invariant battery and
+	// returns the encoded verdict (see chaos.Verdict) alongside the usual
+	// result fields. Verdict responses are deterministic and cacheable
+	// like plain scenario jobs — the distributed chaos fleet is just
+	// traffic to the serving fabric.
+	Verdict bool `json:"verdict,omitempty"`
+	// BreakInvariant deliberately fails the named invariant on verdict
+	// jobs that inject at least one fault (the fleet's end-to-end
+	// self-test: a campaign must detect the violation and shrink it
+	// server-side). Requires Verdict; must name a known invariant.
+	BreakInvariant string `json:"break_invariant,omitempty"`
 
 	// Experiment is a registered experiment ID (see experiments.All).
 	Experiment string `json:"experiment,omitempty"`
@@ -95,6 +104,17 @@ func (r *JobRequest) Validate() error {
 	if r.TimeoutMs < 0 {
 		return fmt.Errorf("service: negative timeout_ms %d", r.TimeoutMs)
 	}
+	if r.Verdict && r.Scenario == "" {
+		return fmt.Errorf("service: verdict requires a scenario job")
+	}
+	if r.BreakInvariant != "" {
+		if !r.Verdict {
+			return fmt.Errorf("service: break_invariant requires verdict")
+		}
+		if !knownInvariant(r.BreakInvariant) {
+			return fmt.Errorf("service: unknown invariant %q", r.BreakInvariant)
+		}
+	}
 	switch {
 	case r.Scenario != "":
 		if _, err := chaos.ParseArgs(r.Scenario); err != nil {
@@ -139,6 +159,11 @@ type JobResult struct {
 	SolutionHash string `json:"solution_hash,omitempty"`
 	HistoryHash  string `json:"history_hash,omitempty"`
 
+	// Verdict jobs: the encoded chaos verdict line (chaos.ParseVerdict
+	// inverts it). The scenario fields above are filled too when the run
+	// produced a report, so verdict jobs feed the same scheme histograms.
+	Verdict string `json:"verdict,omitempty"`
+
 	// Experiment jobs: the rendered tables, verbatim.
 	Output string `json:"output,omitempty"`
 
@@ -157,12 +182,69 @@ func RunJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recorder, err
 	}
 	switch req.Kind() {
 	case "scenario":
+		if req.Verdict {
+			return runVerdictJob(ctx, req)
+		}
 		return runScenarioJob(ctx, req)
 	case "experiment":
 		return runExperimentJob(ctx, req)
 	default:
 		return runSleepJob(ctx, req)
 	}
+}
+
+// verdictRunner is the process-wide chaos runner behind verdict jobs. A
+// single shared runner lets every verdict job on a replica reuse the
+// cached fault-free baselines and linear systems (bounded caches; see
+// chaos.Runner) — the runner's output is a pure function of the scenario,
+// so sharing can only change speed, never bytes.
+var verdictRunner = chaos.NewRunner(chaos.Options{})
+
+// runVerdictJob executes one scenario through the chaos invariant
+// battery and returns its verdict. A scenario whose run fails is still a
+// verdict (status "fail" with a run-error violation) — failure is the
+// campaign's data, not a transport error — except when the job's own
+// context was cut, which is a deadline, not a finding.
+func runVerdictJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recorder, error) {
+	s, err := chaos.ParseArgs(req.Scenario)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := verdictRunner.RunContext(ctx, 0, s)
+	if res.Err != nil && ctx.Err() != nil {
+		return nil, nil, res.Err
+	}
+	if req.BreakInvariant != "" && len(s.Faults) > 0 {
+		res.Violations = append(res.Violations, chaos.SelfTestViolation(req.BreakInvariant))
+	}
+	v := chaos.VerdictOf(res)
+	out := &JobResult{Kind: "verdict", Verdict: v.Encode()}
+	if rep := res.Report; rep != nil {
+		out.Scheme = rep.Scheme
+		out.Ranks = rep.Ranks
+		out.Iters = rep.Iters
+		out.Converged = rep.Converged
+		out.RelRes = chaos.HexFloat(rep.RelRes)
+		out.Time = chaos.HexFloat(rep.Time)
+		out.Energy = chaos.HexFloat(rep.Energy)
+		out.Restarts = rep.Restarts
+		out.Checkpoints = rep.Checkpoints
+		out.Faults = len(rep.Faults)
+		out.Seed = rep.Seed
+		out.SolutionHash = chaos.HashFloats(rep.Solution)
+		out.HistoryHash = chaos.HashFloats(rep.History)
+	}
+	return out, nil, nil
+}
+
+// knownInvariant reports whether name is one of the battery's invariants.
+func knownInvariant(name string) bool {
+	for _, n := range chaos.InvariantNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 func runScenarioJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recorder, error) {
@@ -187,15 +269,15 @@ func runScenarioJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recor
 		Ranks:        rep.Ranks,
 		Iters:        rep.Iters,
 		Converged:    rep.Converged,
-		RelRes:       hexFloat(rep.RelRes),
-		Time:         hexFloat(rep.Time),
-		Energy:       hexFloat(rep.Energy),
+		RelRes:       chaos.HexFloat(rep.RelRes),
+		Time:         chaos.HexFloat(rep.Time),
+		Energy:       chaos.HexFloat(rep.Energy),
 		Restarts:     rep.Restarts,
 		Checkpoints:  rep.Checkpoints,
 		Faults:       len(rep.Faults),
 		Seed:         rep.Seed,
-		SolutionHash: hashFloats(rep.Solution),
-		HistoryHash:  hashFloats(rep.History),
+		SolutionHash: chaos.HashFloats(rep.Solution),
+		HistoryHash:  chaos.HashFloats(rep.History),
 	}, rec, nil
 }
 
@@ -236,25 +318,4 @@ func runSleepJob(ctx context.Context, req JobRequest) (*JobResult, *obs.Recorder
 	case <-ctx.Done():
 		return nil, nil, fmt.Errorf("service: sleep job interrupted: %w", ctx.Err())
 	}
-}
-
-// hexFloat renders a float64 with every bit intact ('x' format
-// round-trips exactly; %g does not).
-func hexFloat(v float64) string {
-	return strconv.FormatFloat(v, 'x', -1, 64)
-}
-
-// hashFloats folds a vector to an FNV-1a-64 hash over the little-endian
-// bit patterns of its elements, preceded by the length — so responses
-// stay small while remaining sensitive to any single-ULP difference.
-func hashFloats(xs []float64) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(xs)))
-	h.Write(buf[:])
-	for _, x := range xs {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
-		h.Write(buf[:])
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -43,6 +43,12 @@ type Config struct {
 	// ForwardTimeout caps one forwarded solve round-trip (<=0: 150 s —
 	// above the replicas' default 120 s job timeout).
 	ForwardTimeout time.Duration
+	// BatchConcurrency bounds how many items of one /batch request are
+	// forwarded at once (<=0: 8). A batch occupies a single router
+	// admission slot however large it is; this knob is the router's own
+	// fan-out parallelism, so a chaos campaign saturates replicas at a
+	// controlled rate instead of admission-slot granularity.
+	BatchConcurrency int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ForwardTimeout <= 0 {
 		c.ForwardTimeout = 150 * time.Second
+	}
+	if c.BatchConcurrency <= 0 {
+		c.BatchConcurrency = 8
 	}
 	return c
 }
@@ -113,6 +122,14 @@ type Router struct {
 	noReplica *telemetry.Counter
 	hForward  *telemetry.HistogramVec // forward round-trip wall seconds
 
+	// Campaign progress: verdict-bearing jobs forwarded for the chaos
+	// fleet, how many came back as verdicts, and how many of those were
+	// invariant violations. On /metrics and /telemetry like every other
+	// registry entry, so `watch curl /metrics` is the campaign dashboard.
+	campaignJobs     *telemetry.Counter
+	campaignVerdicts *telemetry.Counter
+	campaignFail     *telemetry.Counter
+
 	perMu     sync.Mutex
 	perRouted map[string]int64
 }
@@ -146,6 +163,7 @@ func New(cfg Config) (*Router, error) {
 	rt.initMetrics()
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("/solve", rt.handleSolve)
+	rt.mux.HandleFunc("/batch", rt.handleBatch)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("/replicas", rt.handleReplicas)
@@ -170,6 +188,9 @@ func (rt *Router) initMetrics() {
 	rt.rejected = r.Counter("rejected_total")
 	rt.rerouted = r.Counter("rerouted_total")
 	rt.noReplica = r.Counter("no_replica_total")
+	rt.campaignJobs = r.Counter("campaign_jobs_total")
+	rt.campaignVerdicts = r.Counter("campaign_verdicts_total")
+	rt.campaignFail = r.Counter("campaign_fail_total")
 	r.GaugeFunc("max_inflight", func() float64 { return float64(rt.cfg.MaxInflight) })
 	r.GaugeFunc("replicas", func() float64 { return float64(len(rt.Members())) })
 	r.GaugeFunc("replicas_alive", func() float64 {
@@ -457,17 +478,63 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	rt.forward(w, req, body, reqID)
+	rt.writeReply(w, rt.forward(req, body, reqID))
 }
 
-// forward routes one job to its replica, failing over (and re-sharding)
+// reply is one routed job's final answer — status, pass-through headers,
+// body — captured as a value rather than written to a ResponseWriter, so
+// /solve and /batch share the routing path byte-for-byte.
+type reply struct {
+	code   int
+	header http.Header
+	body   []byte
+}
+
+// errReply synthesizes a router-side JSON error reply.
+func errReply(code int, msg string) reply {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	return reply{code: code, header: h, body: body}
+}
+
+func (rt *Router) writeReply(w http.ResponseWriter, rep reply) {
+	for k := range rep.header {
+		w.Header().Set(k, rep.header.Get(k))
+	}
+	w.WriteHeader(rep.code)
+	w.Write(rep.body)
+}
+
+// failVerdictMarker matches a verdict-bearing job result whose verdict
+// line carries status "fail". Matching bytes instead of re-decoding the
+// body keeps the campaign counters off the forwarding hot path.
+var failVerdictMarker = []byte(`"verdict":"v1 status=fail`)
+
+// forward routes one job to its replica and folds the outcome into the
+// campaign counters when the job carries a verdict. Callers must hold a
+// router admission slot.
+func (rt *Router) forward(req service.JobRequest, body []byte, reqID string) reply {
+	rep := rt.routeOne(req, body, reqID)
+	if req.Verdict {
+		rt.campaignJobs.Inc()
+		if rep.code == http.StatusOK {
+			rt.campaignVerdicts.Inc()
+			if bytes.Contains(rep.body, failVerdictMarker) {
+				rt.campaignFail.Inc()
+			}
+		}
+	}
+	return rep
+}
+
+// routeOne routes one job to its replica, failing over (and re-sharding)
 // past dead replicas. Responses — including replica 429s with their
 // Retry-After hints and X-Cache markers — pass through byte-identical.
-func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []byte, reqID string) {
+func (rt *Router) routeOne(req service.JobRequest, body []byte, reqID string) reply {
 	key, cacheable, err := service.CanonicalKey(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return errReply(http.StatusBadRequest, err.Error())
 	}
 
 	fwd := rt.tracer.Start("forward", reqID)
@@ -484,9 +551,9 @@ func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []
 			fwd.End()
 			rt.noReplica.Inc()
 			rt.flight.Crash("no-replica", reqID, "no replica available")
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rt.cfg.RetryAfter)))
-			writeError(w, http.StatusServiceUnavailable, "no replica available")
-			return
+			rep := errReply(http.StatusServiceUnavailable, "no replica available")
+			rep.header.Set("Retry-After", strconv.Itoa(retryAfterSeconds(rt.cfg.RetryAfter)))
+			return rep
 		}
 		resp, err := rt.post(target, body, reqID)
 		if err != nil {
@@ -502,8 +569,7 @@ func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []
 				fwd.End()
 				rt.noReplica.Inc()
 				rt.flight.Crash("all-replicas-unreachable", reqID, err.Error())
-				writeError(w, http.StatusBadGateway, "all replicas unreachable: "+err.Error())
-				return
+				return errReply(http.StatusBadGateway, "all replicas unreachable: "+err.Error())
 			}
 			rt.rerouted.Inc()
 			continue
@@ -518,8 +584,7 @@ func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []
 			if tried > len(rg.members)+1 {
 				fwd.End()
 				rt.flight.Crash("replica-torn", reqID, target+": "+err.Error())
-				writeError(w, http.StatusBadGateway, "replica response torn: "+err.Error())
-				return
+				return errReply(http.StatusBadGateway, "replica response torn: "+err.Error())
 			}
 			rt.rerouted.Inc()
 			continue
@@ -546,15 +611,124 @@ func (rt *Router) forward(w http.ResponseWriter, req service.JobRequest, body []
 			rt.flight.Crash("replica-5xx", reqID,
 				fmt.Sprintf("%s: status %d: %s", target, resp.StatusCode, respBody))
 		}
-		for _, h := range []string{"Content-Type", "Retry-After", "X-Cache", "X-Request-Id"} {
-			if v := resp.Header.Get(h); v != "" {
-				w.Header().Set(h, v)
+		h := http.Header{}
+		for _, k := range []string{"Content-Type", "Retry-After", "X-Cache", "X-Request-Id"} {
+			if v := resp.Header.Get(k); v != "" {
+				h.Set(k, v)
 			}
 		}
-		w.WriteHeader(resp.StatusCode)
-		w.Write(respBody)
+		return reply{code: resp.StatusCode, header: h, body: respBody}
+	}
+}
+
+// maxBatchItems caps one /batch request. A chaos fleet shards campaigns
+// into batches far below this; the cap exists so a single request can
+// never hold an admission slot for an unbounded amount of work.
+const maxBatchItems = 1024
+
+// batchItem is one /batch element's outcome. Body carries the replica's
+// (or the router's error) JSON verbatim — embedding it as a RawMessage
+// keeps each item byte-identical to what a direct /solve would have
+// returned, which is what the fleet's determinism contract rides on.
+type batchItem struct {
+	Code int             `json:"code"`
+	Body json.RawMessage `json:"body"`
+}
+
+// handleBatch fans one campaign batch out across the fleet: a JSON array
+// of job requests in, an aligned array of {code, body} items out. The
+// whole batch occupies ONE router admission slot — the fan-out runs at
+// Config.BatchConcurrency inside it — so a million-scenario campaign
+// contends with interactive /solve traffic as a handful of slots, not a
+// slot per scenario. Per-item failures (including replica 429s) land in
+// that item's code; the batch itself only fails for malformed bodies or
+// router saturation.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	var reqs []service.JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reqs); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(reqs) > maxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-item cap", len(reqs), maxBatchItems))
+		return
+	}
+
+	rt.admitMu.RLock()
+	if rt.draining {
+		rt.admitMu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case rt.slots <- struct{}{}:
+	default:
+		rt.admitMu.RUnlock()
+		rt.rejected.Inc()
+		rt.flight.Note("router-rejected", reqID, "router saturated (batch)")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rt.cfg.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "router saturated")
+		return
+	}
+	rt.inflight.Add(1)
+	rt.admitMu.RUnlock()
+	defer func() {
+		<-rt.slots
+		rt.inflight.Done()
+	}()
+
+	items := make([]batchItem, len(reqs))
+	sem := make(chan struct{}, rt.cfg.BatchConcurrency)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			items[i] = rt.batchOne(reqs[i], fmt.Sprintf("%s-%d", reqID, i))
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, items)
+}
+
+// batchOne validates and routes one batch element.
+func (rt *Router) batchOne(req service.JobRequest, reqID string) batchItem {
+	if err := req.Validate(); err != nil {
+		rep := errReply(http.StatusBadRequest, err.Error())
+		return batchItem{Code: rep.code, Body: rep.body}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		rep := errReply(http.StatusInternalServerError, err.Error())
+		return batchItem{Code: rep.code, Body: rep.body}
+	}
+	rep := rt.forward(req, body, reqID)
+	if !json.Valid(rep.body) {
+		// A replica answered with something that is not JSON (a torn body,
+		// an interposed proxy page). Wrap it so the batch document itself
+		// stays parseable.
+		wrapped, _ := json.Marshal(map[string]string{"error": string(rep.body)})
+		return batchItem{Code: rep.code, Body: wrapped}
+	}
+	return batchItem{Code: rep.code, Body: rep.body}
 }
 
 // post sends one forwarded solve with the request ID attached, so the

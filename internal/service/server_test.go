@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"resilience/internal/chaos"
 )
 
 const testScenario = "-grid 8 -ranks 4 -scheme CR-M -ckpt 5 -tol 1e-10 -seed 7 -faults SWO@5:r1,SNF@6:r0"
@@ -311,23 +313,23 @@ func TestHealthzAndMetrics(t *testing.T) {
 // TestHexFloatRoundTrip pins the bit-exactness of the float codec.
 func TestHexFloatRoundTrip(t *testing.T) {
 	for _, v := range []float64{0, 1.5, 1e-300, 3.141592653589793, 1.0000000000000002} {
-		got, err := strconv.ParseFloat(hexFloat(v), 64)
+		got, err := strconv.ParseFloat(chaos.HexFloat(v), 64)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got != v {
-			t.Fatalf("hexFloat(%v) round-tripped to %v", v, got)
+			t.Fatalf("chaos.HexFloat(%v) round-tripped to %v", v, got)
 		}
 	}
-	if hashFloats(nil) == hashFloats([]float64{0}) {
+	if chaos.HashFloats(nil) == chaos.HashFloats([]float64{0}) {
 		t.Fatal("hash ignores length")
 	}
 	a := []float64{1, 2, 3}
 	b := []float64{1, 2, 3 + 1e-15}
-	if hashFloats(a) == hashFloats(b) {
+	if chaos.HashFloats(a) == chaos.HashFloats(b) {
 		t.Fatal("hash insensitive to a one-ULP-scale difference")
 	}
-	if fmt.Sprintf("%d", len(hashFloats(a))) != "16" {
-		t.Fatalf("hash width %d, want 16", len(hashFloats(a)))
+	if fmt.Sprintf("%d", len(chaos.HashFloats(a))) != "16" {
+		t.Fatalf("hash width %d, want 16", len(chaos.HashFloats(a)))
 	}
 }

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"resilience/internal/chaos"
+)
+
+// TestVerdictJob pins the verdict-bearing job path: a scenario job with
+// verdict set answers with the encoded chaos verdict alongside the usual
+// bitwise run facts, deterministically and cacheably.
+func TestVerdictJob(t *testing.T) {
+	req := JobRequest{Scenario: testScenario, Verdict: true}
+	oracleRes, _, err := RunJob(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracleRes.Kind != "verdict" {
+		t.Fatalf("kind = %q, want verdict", oracleRes.Kind)
+	}
+	v, err := chaos.ParseVerdict(oracleRes.Verdict)
+	if err != nil {
+		t.Fatalf("verdict does not parse: %v", err)
+	}
+	if v.Status != chaos.StatusOK {
+		t.Fatalf("status = %q, want ok (violations: %v)", v.Status, v.Violations)
+	}
+	if v.Encode() != oracleRes.Verdict {
+		t.Fatalf("verdict is not an encode fixpoint:\n in: %s\nout: %s", oracleRes.Verdict, v.Encode())
+	}
+	// The verdict's run facts must agree with the plain scenario job's.
+	plain, _, err := RunJob(context.Background(), JobRequest{Scenario: testScenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.RelRes != plain.RelRes || v.SolutionHash != plain.SolutionHash || v.Iters != plain.Iters {
+		t.Fatalf("verdict run facts diverge from the scenario job:\nverdict: %+v\nplain:   %+v", v, plain)
+	}
+
+	oracle, err := json.Marshal(oracleRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, QueueCap: 8})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	code, got, hdr := post(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, got)
+	}
+	if !bytes.Equal(got, oracle) {
+		t.Fatalf("HTTP verdict differs from oracle\n got: %s\nwant: %s", got, oracle)
+	}
+	if hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("first verdict request X-Cache = %q, want miss", hdr.Get("X-Cache"))
+	}
+	code, got2, hdr := post(t, ts, req)
+	if code != http.StatusOK || !bytes.Equal(got2, oracle) {
+		t.Fatalf("cached verdict differs: status %d body %s", code, got2)
+	}
+	if hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("second verdict request X-Cache = %q, want hit", hdr.Get("X-Cache"))
+	}
+}
+
+// TestVerdictJobBreakInvariant pins the fleet self-test hook: the named
+// invariant fails on faulted scenarios with the exact violation text the
+// in-process campaign runner produces, and does nothing on fault-free
+// scenarios (a no-fault run cannot be "broken" — there is nothing for
+// the campaign to shrink).
+func TestVerdictJobBreakInvariant(t *testing.T) {
+	res, _, err := RunJob(context.Background(),
+		JobRequest{Scenario: testScenario, Verdict: true, BreakInvariant: chaos.InvConvergence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := chaos.ParseVerdict(res.Verdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != chaos.StatusFail {
+		t.Fatalf("broken verdict status = %q, want fail", v.Status)
+	}
+	want := chaos.SelfTestViolation(chaos.InvConvergence).String()
+	found := false
+	for _, viol := range v.Violations {
+		if viol == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v missing %q", v.Violations, want)
+	}
+
+	noFaults := "-grid 6 -ranks 2 -scheme LI -tol 1e-10 -ckpt 0 -detect 0 -seed 3"
+	res, _, err = RunJob(context.Background(),
+		JobRequest{Scenario: noFaults, Verdict: true, BreakInvariant: chaos.InvConvergence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err = chaos.ParseVerdict(res.Verdict); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != chaos.StatusOK {
+		t.Fatalf("fault-free broken verdict status = %q, want ok", v.Status)
+	}
+}
+
+// TestVerdictValidation rejects malformed verdict requests at admission.
+func TestVerdictValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  JobRequest
+	}{
+		{"verdict without scenario", JobRequest{SleepMs: 1, Verdict: true}},
+		{"break without verdict", JobRequest{Scenario: testScenario, BreakInvariant: chaos.InvConvergence}},
+		{"unknown invariant", JobRequest{Scenario: testScenario, Verdict: true, BreakInvariant: "gravity"}},
+	}
+	for _, tc := range cases {
+		if err := tc.req.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.req)
+		}
+	}
+}
+
+// TestVerdictCanonicalKey pins verdict cache keying: verdict jobs key
+// apart from plain scenario jobs and from differently-broken verdict
+// jobs, while flag-order variants of the same verdict job unify.
+func TestVerdictCanonicalKey(t *testing.T) {
+	plainKey, _, err := CanonicalKey(JobRequest{Scenario: testScenario})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vKey, cacheable, err := CanonicalKey(JobRequest{Scenario: testScenario, Verdict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cacheable {
+		t.Fatal("verdict job not cacheable")
+	}
+	bKey, _, err := CanonicalKey(JobRequest{Scenario: testScenario, Verdict: true, BreakInvariant: chaos.InvConvergence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainKey == vKey || vKey == bKey || plainKey == bKey {
+		t.Fatalf("verdict keys alias: plain=%q verdict=%q broken=%q", plainKey, vKey, bKey)
+	}
+	reordered := "-seed 7 -ranks 4 -scheme crm -ckpt 5 -tol 1e-10 -grid 8 -faults SWO@5:r1,SNF@6:r0"
+	rKey, _, err := CanonicalKey(JobRequest{Scenario: reordered, Verdict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rKey != vKey {
+		t.Fatalf("flag-order variant keys differ:\n %q\n %q", rKey, vKey)
+	}
+}

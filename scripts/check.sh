@@ -6,8 +6,10 @@
 # over the seed corpora, the observation-disabled zero-allocation gate,
 # a service integration gate (resilienced under a seeded resilience-load
 # burst: queue-full rejections, byte-identical responses, clean drain),
-# and a benchdiff comparison against the most recent BENCH_*.json perf
-# baseline.
+# a chaos-fleet gate (a sharded 2k-scenario campaign byte-compared to
+# the in-process oracle, plus an injected violation that must shrink
+# server-side to a minimal scenario), and a benchdiff comparison against
+# the most recent BENCH_*.json perf baseline.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -18,6 +20,12 @@ go test ./...
 go vet ./...
 go test -race ./internal/cluster/... ./internal/solver/... ./internal/experiments/... \
     ./internal/service/... ./internal/telemetry/...
+
+# Flake audit: the chaos and service suites lean hardest on goroutine
+# pools, httptest servers, and arrival-order-independent determinism
+# contracts — run them five times under the race detector so ordering
+# flakes surface here instead of once a week in CI.
+go test -race -count=5 ./internal/chaos/... ./internal/service/...
 
 # Chaos: a seeded fault campaign (all eight default schemes, 0-3 faults
 # per scenario, full invariant battery) under the race detector. Any
@@ -118,6 +126,35 @@ router_addr=$(wait_addr "$svc_dir/router.log")
 curl -s "http://$router_addr/metrics" |
     awk '/^resilience_router_cache_hits_total / { found = ($2 > 0) } END { exit found ? 0 : 1 }' ||
     { echo "router reported no cache hits"; exit 1; }
+
+# Fleet gate: shard a bounded 2k-scenario chaos campaign across the same
+# router + two replicas and byte-compare the indexed verdict stream
+# against the in-process oracle — sharding, batching, caching, and
+# arrival order must not change one byte. Then inject a violation
+# (-break convergence) and require the server-side shrinker to reduce it
+# to a minimal scenario of at most 3 fault events, and the router's
+# campaign counters to have seen the whole campaign.
+go build -o "$svc_dir/chaos-fleet" ./cmd/chaos-fleet
+"$svc_dir/chaos-fleet" -oracle -n 2000 -seed 1 -verdicts-out "$svc_dir/oracle.verdicts"
+"$svc_dir/chaos-fleet" -addr "http://$router_addr" -n 2000 -seed 1 \
+    -verdicts-out "$svc_dir/fleet.verdicts"
+cmp "$svc_dir/oracle.verdicts" "$svc_dir/fleet.verdicts"
+
+broken_rc=0
+"$svc_dir/chaos-fleet" -addr "http://$router_addr" -n 200 -seed 1 -break convergence \
+    > "$svc_dir/broken.out" 2>&1 || broken_rc=$?
+cat "$svc_dir/broken.out"
+test "$broken_rc" -eq 1
+grep -q 'minimal failing scenario' "$svc_dir/broken.out"
+awk '/-faults/ { for (i = 1; i <= NF; i++) if ($i == "-faults") { n = split($(i+1), a, ","); if (n > 3) { print "shrunk scenario has " n " fault events: " $0; bad = 1 } } }
+     END { exit bad }' "$svc_dir/broken.out"
+
+curl -s "http://$router_addr/metrics" |
+    awk '/^resilience_router_campaign_jobs_total / { jobs = $2 }
+         /^resilience_router_campaign_verdicts_total / { v = $2 }
+         /^resilience_router_campaign_fail_total / { f = $2 }
+         END { exit (jobs >= 2200 && v >= 2200 && f > 0) ? 0 : 1 }' ||
+    { echo "router campaign counters did not account for the fleet campaign"; exit 1; }
 
 # Telemetry gate: at each replica, the wall-clock solve histogram must
 # account for exactly the completed jobs (no sample lost, none double-
