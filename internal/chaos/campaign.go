@@ -132,7 +132,8 @@ func NewScenario(rng *rand.Rand, opts Options) *Scenario {
 }
 
 func isCR(scheme string) bool {
-	return strings.HasPrefix(strings.ToUpper(scheme), "CR")
+	u := strings.ToUpper(scheme)
+	return strings.HasPrefix(u, "CR") || u == "LCR"
 }
 
 // Result is the outcome of one scenario.

@@ -278,19 +278,24 @@ func ParseSchemeName(name string) (core.SchemeSpec, error) {
 		return core.SchemeSpec{Kind: core.CRD}, nil
 	case "CR-2L", "CR2L":
 		return core.SchemeSpec{Kind: core.CR2L}, nil
+	case "LCR":
+		return core.SchemeSpec{Kind: core.LCR}, nil
 	case "RD", "DMR":
 		return core.SchemeSpec{Kind: core.RD}, nil
 	case "TMR":
 		return core.SchemeSpec{Kind: core.TMR}, nil
+	case "ESR":
+		return core.SchemeSpec{Kind: core.ESR}, nil
 	}
 	return core.SchemeSpec{}, fmt.Errorf("chaos: unknown scheme %q", name)
 }
 
 // DefaultSchemes is the campaign's default scheme pool: the acceptance
-// set of eight (forward recovery with and without DVFS, plus both
-// single-level checkpoint/restart variants).
+// set of ten (forward recovery with and without DVFS, both single-level
+// checkpoint/restart variants, exact state reconstruction, and lossy-
+// compressed checkpoint/restart).
 func DefaultSchemes() []string {
-	return []string{"F0", "FI", "LI", "LI-DVFS", "LSI", "LSI-DVFS", "CR-M", "CR-D"}
+	return []string{"F0", "FI", "LI", "LI-DVFS", "LSI", "LSI-DVFS", "CR-M", "CR-D", "ESR", "LCR"}
 }
 
 // System builds the scenario's linear system (cached by the campaign
@@ -309,7 +314,7 @@ func (s *Scenario) RunConfig(a *sparse.CSR, b []float64, keepSegments bool) (cor
 	if err != nil {
 		return core.RunConfig{}, err
 	}
-	if spec.Kind == core.CRM || spec.Kind == core.CRD || spec.Kind == core.CR2L {
+	if spec.Kind == core.CRM || spec.Kind == core.CRD || spec.Kind == core.CR2L || spec.Kind == core.LCR {
 		ck := s.CkptEvery
 		if ck <= 0 {
 			ck = 8

@@ -119,12 +119,22 @@ func TestStores(t *testing.T) {
 	if mem.WriteTime(bytes, 192) >= disk.WriteTime(bytes, 192) {
 		t.Error("memory checkpoint should be cheaper than disk")
 	}
-	// Reads cost like writes for both stores.
-	if disk.ReadTime(bytes, 4) != disk.WriteTime(bytes, 4) {
-		t.Error("disk read/write asymmetry")
-	}
-	if mem.ReadTime(bytes, 4) != mem.WriteTime(bytes, 4) {
-		t.Error("memory read/write asymmetry")
+}
+
+// TestDefaultReadEqualsWrite pins the *default-platform* coupling only:
+// with the read-bandwidth knobs unset, restores cost exactly what the
+// checkpoint writes did (the seed behavior every golden table assumes).
+// The read paths are independent models — once a knob diverges they must
+// move apart, which TestDiskStoreReadUsesReadBandwidth and
+// TestMemStoreReadUsesReadBandwidth pin separately.
+func TestDefaultReadEqualsWrite(t *testing.T) {
+	plat := platform.Default()
+	const bytes = 1 << 20
+	for _, s := range []Store{MemStore{Plat: plat}, DiskStore{Plat: plat}} {
+		if s.ReadTime(bytes, 4) != s.WriteTime(bytes, 4) {
+			t.Errorf("%s: default read %g != write %g", s.Name(),
+				s.ReadTime(bytes, 4), s.WriteTime(bytes, 4))
+		}
 	}
 }
 
@@ -185,5 +195,60 @@ func TestDiskStoreReadUsesReadBandwidth(t *testing.T) {
 	}
 	if got := disk.ReadTime(bytes, 8); got >= rBefore {
 		t.Errorf("read time %g not reduced by 4x read bandwidth (was %g)", got, rBefore)
+	}
+}
+
+// TestMemStoreReadUsesReadBandwidth: MemStore.ReadTime routes through
+// Platform.MemReadTime, so a dedicated memory read bandwidth changes
+// restores without touching checkpoint writes — the restore path no
+// longer silently charges the write cost.
+func TestMemStoreReadUsesReadBandwidth(t *testing.T) {
+	plat := platform.Default()
+	mem := MemStore{Plat: plat}
+	const bytes = 1 << 20
+	wBefore := mem.WriteTime(bytes, 1)
+	rBefore := mem.ReadTime(bytes, 1)
+	if rBefore != wBefore {
+		t.Fatalf("default read %g != write %g", rBefore, wBefore)
+	}
+	plat.MemReadBandwidth = 4 * plat.MemBandwidth
+	if got := mem.WriteTime(bytes, 1); got != wBefore {
+		t.Errorf("write time moved with read bandwidth: %g != %g", got, wBefore)
+	}
+	if got := mem.ReadTime(bytes, 1); got >= rBefore {
+		t.Errorf("read time %g not reduced by 4x read bandwidth (was %g)", got, rBefore)
+	}
+}
+
+// TestLossyStore pins the compression cost model: an R-times compressed
+// checkpoint writes (and reads) R times less data through the inner
+// store, transfer character and naming follow the target, and the
+// compressed payload never rounds down to zero bytes.
+func TestLossyStore(t *testing.T) {
+	plat := platform.Default()
+	inner := DiskStore{Plat: plat}
+	lossy := Lossy{Inner: inner, Ratio: 8}
+	if lossy.Name() != "lossy-disk" {
+		t.Errorf("name %q", lossy.Name())
+	}
+	if lossy.CPUBusy() != inner.CPUBusy() {
+		t.Error("CPUBusy must follow the inner store")
+	}
+	const bytes = 1 << 23
+	if got, want := lossy.WriteTime(bytes, 8), inner.WriteTime(bytes/8, 8); got != want {
+		t.Errorf("compressed write %g want %g", got, want)
+	}
+	if got, want := lossy.ReadTime(bytes, 8), inner.ReadTime(bytes/8, 8); got != want {
+		t.Errorf("compressed read %g want %g", got, want)
+	}
+	if lossy.WriteTime(bytes, 8) >= inner.WriteTime(bytes, 8) {
+		t.Error("lossy write not cheaper than exact write")
+	}
+	// Ratio <= 1 means no reduction; tiny payloads floor at one byte.
+	if (Lossy{Inner: inner, Ratio: 0.5}).WriteTime(bytes, 1) != inner.WriteTime(bytes, 1) {
+		t.Error("ratio <= 1 must not reduce the payload")
+	}
+	if (Lossy{Inner: inner, Ratio: 1e9}).compressed(4) != 1 {
+		t.Error("compressed payload must floor at 1 byte")
 	}
 }

@@ -38,11 +38,14 @@ const (
 	CR2L // two-level checkpoint/restart, memory + disk (extension)
 	RD   // dual modular redundancy
 	TMR  // triple modular redundancy (extension)
+	ESR  // exact state reconstruction (extension)
+	LCR  // lossy-compressed checkpoint/restart (extension)
 )
 
 var kindNames = map[SchemeKind]string{
 	FF: "FF", F0: "F0", FI: "FI", LI: "LI", LSI: "LSI",
 	CRM: "CR-M", CRD: "CR-D", CR2L: "CR-2L", RD: "RD", TMR: "TMR",
+	ESR: "ESR", LCR: "LCR",
 }
 
 func (k SchemeKind) String() string {
@@ -73,6 +76,12 @@ type SchemeSpec struct {
 	// UseDaly switches the derived interval to Daly's higher-order
 	// formula (ablation extension).
 	UseDaly bool
+	// LossyRatio is the LCR compression ratio (compressed payload =
+	// bytes/LossyRatio); zero means recovery.DefaultLossyRatio.
+	LossyRatio float64
+	// LossyErrBound is the LCR compressor's pointwise relative error
+	// bound applied on restore; zero means recovery.DefaultLossyErrBound.
+	LossyErrBound float64
 }
 
 // Name returns the presentation name used in the paper's tables.
@@ -230,8 +239,26 @@ func buildScheme(cfg *RunConfig, x0Block []float64, ckptPolicy checkpoint.Policy
 		return &recovery.RD{Replicas: 2}, nil
 	case TMR:
 		return &recovery.RD{Replicas: 3}, nil
+	case ESR:
+		return &recovery.ESR{X0: x0Block}, nil
+	case LCR:
+		return &recovery.LCR{CR: recovery.CR{
+			Store:  lossyStore(cfg.Plat, cfg.Scheme),
+			Policy: ckptPolicy,
+			X0:     x0Block,
+		}, ErrBound: cfg.Scheme.LossyErrBound}, nil
 	}
 	return nil, fmt.Errorf("core: unknown scheme kind %v", cfg.Scheme.Kind)
+}
+
+// lossyStore builds the LCR checkpoint target: the shared disk behind an
+// error-bounded compressor at the spec's ratio.
+func lossyStore(plat *platform.Platform, s SchemeSpec) checkpoint.Store {
+	ratio := s.LossyRatio
+	if ratio <= 0 {
+		ratio = recovery.DefaultLossyRatio
+	}
+	return checkpoint.Lossy{Inner: checkpoint.DiskStore{Plat: plat}, Ratio: ratio}
 }
 
 // resMonitor wires fault injection and recovery into the CG iteration.
@@ -360,7 +387,7 @@ func EstimateIterTime(a *sparse.CSR, ranks int, plat *platform.Platform) float64
 // ckptPolicy resolves the checkpoint policy for a run.
 func ckptPolicy(cfg *RunConfig, maxBlockRows int) (checkpoint.Policy, error) {
 	s := cfg.Scheme
-	if s.Kind != CRM && s.Kind != CRD && s.Kind != CR2L {
+	if s.Kind != CRM && s.Kind != CRD && s.Kind != CR2L && s.Kind != LCR {
 		return checkpoint.Policy{}, nil
 	}
 	if s.CkptEvery > 0 {
@@ -370,9 +397,12 @@ func ckptPolicy(cfg *RunConfig, maxBlockRows int) (checkpoint.Policy, error) {
 		return checkpoint.Policy{}, fmt.Errorf("core: CR scheme needs CkptEvery or CkptMTBF")
 	}
 	var store checkpoint.Store
-	if s.Kind == CRM || s.Kind == CR2L {
+	switch {
+	case s.Kind == CRM || s.Kind == CR2L:
 		store = checkpoint.MemStore{Plat: cfg.Plat}
-	} else {
+	case s.Kind == LCR:
+		store = lossyStore(cfg.Plat, s)
+	default:
 		store = checkpoint.DiskStore{Plat: cfg.Plat}
 	}
 	tC := store.WriteTime(int64(8*maxBlockRows), cfg.Ranks)
@@ -492,6 +522,8 @@ func RunContext(ctx context.Context, cfg RunConfig) (*RunReport, error) {
 		report.Redundancy = s.Redundancy()
 		switch sc := s.(type) {
 		case *recovery.CR:
+			report.Checkpoints = sc.Writes
+		case *recovery.LCR:
 			report.Checkpoints = sc.Writes
 		case *recovery.CR2L:
 			report.Checkpoints = sc.MemWrites + sc.DiskWrites

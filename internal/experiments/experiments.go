@@ -304,7 +304,9 @@ func (c Config) runScheme(s *system, spec core.SchemeSpec, keepSegs bool) (*core
 			return fault.NewSchedule(nFaults, ffIters, ranks, fault.SNF, seed)
 		}
 		// Young-policy CR needs the failure rate the schedule implies.
-		if spec.CkptEvery == 0 && (spec.Kind == core.CRM || spec.Kind == core.CRD) && spec.CkptMTBF == 0 {
+		if spec.CkptEvery == 0 &&
+			(spec.Kind == core.CRM || spec.Kind == core.CRD || spec.Kind == core.LCR) &&
+			spec.CkptMTBF == 0 {
 			rc.Scheme.CkptMTBF = ff.Time / float64(nFaults)
 		}
 	}
@@ -337,7 +339,9 @@ func (c Config) schemeSet() []core.SchemeSpec {
 	}
 }
 
-// energySchemeSet is the Section 5.3 comparison set (Table 5).
+// energySchemeSet is the Section 5.3 comparison set (Table 5), widened
+// with the two extension schemes (ESR, LCR) so the comparison tables
+// cover the full taxonomy.
 func energySchemeSet() []core.SchemeSpec {
 	return []core.SchemeSpec{
 		{Kind: core.RD},
@@ -345,5 +349,7 @@ func energySchemeSet() []core.SchemeSpec {
 		{Kind: core.LSI, DVFS: true},
 		{Kind: core.CRM},
 		{Kind: core.CRD},
+		{Kind: core.ESR},
+		{Kind: core.LCR},
 	}
 }

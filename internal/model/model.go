@@ -42,6 +42,16 @@ type Params struct {
 
 	// Redundancy degree for RD (2 for DMR).
 	Replicas int
+
+	// Exact state reconstruction (extension; arXiv:2007.04066).
+	// PersistFrac is the per-iteration redundancy-persist overhead as a
+	// fraction of TBase — the x/p buddy copies ESR streams out every
+	// iteration, paid fault or no fault.
+	PersistFrac float64
+
+	// Lossy-compressed checkpointing (extension; arXiv:1804.11268).
+	// CompressRatio divides the per-checkpoint cost t_C for LCR.
+	CompressRatio float64
 }
 
 // Prediction is the model output for one scheme.
@@ -165,6 +175,60 @@ func PredictFW(p Params) (Prediction, error) {
 	perCore := p.PBase / float64(p.N)
 	pConst := float64(nTilde)*perCore + float64(p.N-nTilde)*perCore*idleFrac
 	eRes := pConst*tConst + p.PBase*tExtra
+	t := p.TBase + tRes
+	e := p.PBase*p.TBase + eRes
+	return Prediction{TRes: tRes, ERes: eRes, T: t, E: e, P: e / t}, nil
+}
+
+// PredictESR models exact state reconstruction (extension;
+// arXiv:2007.04066): a constant redundancy-persist overhead spread over
+// every iteration, plus a per-fault reconstruction cost — and nothing
+// else, because recovery is exact: no rollback, no lost work, no extra
+// iterations. All cores stay busy throughout, so the overhead is charged
+// at PBase:
+//
+//	T_persist = PersistFrac * TBase
+//	T_const   = λ * T * t_const
+//	E_res     = PBase * (T_persist + T_const)
+func PredictESR(p Params) (Prediction, error) {
+	if err := p.validate(); err != nil {
+		return Prediction{}, err
+	}
+	if p.PersistFrac < 0 {
+		return Prediction{}, fmt.Errorf("model: negative ESR persist fraction %g", p.PersistFrac)
+	}
+	tPersist := p.PersistFrac * p.TBase
+	tConst := p.Lambda * p.TBase * p.TConst
+	tRes := tPersist + tConst
+	eRes := p.PBase * tRes
+	t := p.TBase + tRes
+	e := p.PBase*p.TBase + eRes
+	return Prediction{TRes: tRes, ERes: eRes, T: t, E: e, P: e / t}, nil
+}
+
+// PredictLCR models lossy-compressed checkpoint/restart (extension;
+// arXiv:1804.11268): plain CR with the
+// per-checkpoint cost divided by the compression ratio, plus a
+// re-convergence penalty per restore — restarting from an error-bounded
+// decompressed iterate costs extra iterations, priced like the forward
+// schemes' convergence penalty:
+//
+//	T_chkpt = (t_C/R) * T/I_C
+//	T_lost  = (I_C/2) * λ * T
+//	T_extra = (λ * T) * ExtraFracPerFault * TBase
+func PredictLCR(p Params) (Prediction, error) {
+	if p.CompressRatio < 1 {
+		return Prediction{}, fmt.Errorf("model: LCR needs CompressRatio >= 1, got %g", p.CompressRatio)
+	}
+	q := p
+	q.TC = p.TC / p.CompressRatio
+	cr, err := PredictCR(q)
+	if err != nil {
+		return Prediction{}, err
+	}
+	tExtra := p.Lambda * p.TBase * p.ExtraFracPerFault * p.TBase
+	tRes := cr.TRes + tExtra
+	eRes := cr.ERes + p.PBase*tExtra
 	t := p.TBase + tRes
 	e := p.PBase*p.TBase + eRes
 	return Prediction{TRes: tRes, ERes: eRes, T: t, E: e, P: e / t}, nil

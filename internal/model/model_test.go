@@ -204,3 +204,74 @@ func TestValidateParams(t *testing.T) {
 		t.Error("negative lambda accepted")
 	}
 }
+
+func TestPredictESR(t *testing.T) {
+	p := baseParams()
+	p.PersistFrac = 0.05
+	p.TConst = 2
+	pred, err := PredictESR(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T_persist = 0.05*100 = 5; T_const = 0.01*100*2 = 2.
+	if math.Abs(pred.TRes-7) > 1e-9 {
+		t.Errorf("ESR T_res %g want 7", pred.TRes)
+	}
+	// All cores busy: E_res = PBase * T_res, so P stays at baseline.
+	if math.Abs(pred.ERes-p.PBase*7) > 1e-6 {
+		t.Errorf("ESR E_res %g want %g", pred.ERes, p.PBase*7)
+	}
+	if math.Abs(pred.P-p.PBase) > 1e-9 {
+		t.Errorf("ESR average power %g want baseline %g", pred.P, p.PBase)
+	}
+	// Fault-free still pays the persist overhead — that is the trade.
+	p.Lambda = 0
+	pred0, _ := PredictESR(p)
+	if math.Abs(pred0.TRes-5) > 1e-9 {
+		t.Errorf("fault-free ESR T_res %g want 5 (persist only)", pred0.TRes)
+	}
+	p.PersistFrac = -1
+	if _, err := PredictESR(p); err == nil {
+		t.Error("negative persist fraction must be rejected")
+	}
+}
+
+func TestPredictLCR(t *testing.T) {
+	p := baseParams()
+	p.TC = 0.5
+	p.IC = 10
+	p.PCkptFrac = 0.8
+	p.CompressRatio = 8
+	p.ExtraFracPerFault = 0.02
+	pred, err := PredictLCR(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T_chkpt = (0.5/8)*100/10 = 0.625; T_lost = 5; T_extra = 1*0.02*100 = 2.
+	if math.Abs(pred.TRes-7.625) > 1e-9 {
+		t.Errorf("LCR T_res %g want 7.625", pred.TRes)
+	}
+	wantE := 0.625*0.8*p.PBase + 5*p.PBase + 2*p.PBase
+	if math.Abs(pred.ERes-wantE) > 1e-6 {
+		t.Errorf("LCR E_res %g want %g", pred.ERes, wantE)
+	}
+	// Without a re-convergence penalty the compressed checkpoints beat
+	// plain CR outright; the penalty is what the trade-off is about.
+	q := p
+	q.ExtraFracPerFault = 0
+	lcr0, _ := PredictLCR(q)
+	cr, _ := PredictCR(q)
+	if lcr0.TRes >= cr.TRes {
+		t.Errorf("penalty-free LCR T_res %g not below CR's %g", lcr0.TRes, cr.TRes)
+	}
+	// Ratio 1 with no penalty degenerates to plain CR.
+	q.CompressRatio = 1
+	same, _ := PredictLCR(q)
+	if math.Abs(same.TRes-cr.TRes) > 1e-12 || math.Abs(same.ERes-cr.ERes) > 1e-9 {
+		t.Error("ratio-1 LCR must degenerate to CR")
+	}
+	p.CompressRatio = 0.5
+	if _, err := PredictLCR(p); err == nil {
+		t.Error("compression ratio below 1 must be rejected")
+	}
+}

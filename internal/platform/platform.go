@@ -53,6 +53,10 @@ type Platform struct {
 	DiskReadBandwidth float64 // bytes/second, aggregate, reads
 	DiskLatency       float64 // seconds per checkpoint operation
 	MemBandwidth      float64 // bytes/second, per core
+	// MemReadBandwidth is the per-core restore-read bandwidth; zero means
+	// "same as MemBandwidth" (the seed behavior, so existing
+	// configurations and golden tables are unchanged).
+	MemReadBandwidth float64 // bytes/second, per core, reads
 
 	// Power model (watts per core).
 	PCoreMax   float64
@@ -190,6 +194,17 @@ func (p *Platform) MemWriteTime(bytes int64) float64 {
 	return float64(bytes) / p.MemBandwidth
 }
 
+// MemReadTime returns the time to copy the given bytes back out of a
+// local in-memory checkpoint. Reads use MemReadBandwidth, which defaults
+// to the write bandwidth when unset.
+func (p *Platform) MemReadTime(bytes int64) float64 {
+	bw := p.MemReadBandwidth
+	if bw <= 0 {
+		bw = p.MemBandwidth
+	}
+	return float64(bytes) / bw
+}
+
 // Validate reports configuration errors.
 func (p *Platform) Validate() error {
 	switch {
@@ -209,6 +224,8 @@ func (p *Platform) Validate() error {
 			p.DiskBandwidth, p.MemBandwidth)
 	case p.DiskReadBandwidth < 0:
 		return fmt.Errorf("platform: negative disk read bandwidth %g", p.DiskReadBandwidth)
+	case p.MemReadBandwidth < 0:
+		return fmt.Errorf("platform: negative memory read bandwidth %g", p.MemReadBandwidth)
 	case p.PCoreMax <= 0:
 		return fmt.Errorf("platform: non-positive core power %g", p.PCoreMax)
 	}

@@ -7,6 +7,11 @@
 //	LI           linear interpolation of the lost block (Eq. 17/19)
 //	LSI          least-squares interpolation (Eq. 18/20/21)
 //
+// plus two extension schemes beyond the paper's set:
+//
+//	ESR          exact state reconstruction, no rollback (arXiv:2007.04066)
+//	LCR          lossy-compressed checkpoint/restart (arXiv:1804.11268)
+//
 // LI and LSI come in two construction flavors: the prior-work exact
 // solvers (dense LU of the diagonal block; QR of the column block) and
 // the paper's Section 4 optimization, localized CG/CGLS with a

@@ -120,6 +120,10 @@ func canonicalSchemeName(spec core.SchemeSpec) string {
 		return "RD"
 	case core.TMR:
 		return "TMR"
+	case core.ESR:
+		return "ESR"
+	case core.LCR:
+		return "LCR"
 	}
 	// Unreachable: ParseSchemeName only produces the kinds above.
 	return fmt.Sprintf("Kind(%d)", int(spec.Kind))

@@ -56,6 +56,43 @@ func FuzzCanonicalKey(f *testing.F) {
 	})
 }
 
+// FuzzSchemeSpec fuzzes the scheme-name half of the canonicalization
+// contract: any name the scenario codec accepts must map to a canonical
+// spelling that re-parses to the identical spec (name -> spec ->
+// canonical name -> spec is a fixpoint), and the canonical spelling must
+// itself be stable. Seeded with every registered scheme, including all
+// aliases and both extension schemes.
+func FuzzSchemeSpec(f *testing.F) {
+	seeds := []string{
+		"FF", "F0", "FI",
+		"LI", "LI-DVFS", "LI(LU)", "LI-LU",
+		"LSI", "LSI-DVFS", "LSI(QR)", "LSI-QR",
+		"CR-M", "CRM", "CR-D", "CRD", "CR-2L", "CR2L",
+		"LCR", "RD", "DMR", "TMR", "ESR",
+		"esr", "lcr", " cr-d ", "li-dvfs", "nope", "",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		spec, err := chaos.ParseSchemeName(name)
+		if err != nil {
+			return
+		}
+		canon := canonicalSchemeName(spec)
+		spec2, err := chaos.ParseSchemeName(canon)
+		if err != nil {
+			t.Fatalf("canonical name %q of %q does not parse: %v", canon, name, err)
+		}
+		if spec2 != spec {
+			t.Fatalf("spec round-trip not a fixpoint: %q -> %+v -> %q -> %+v", name, spec, canon, spec2)
+		}
+		if again := canonicalSchemeName(spec2); again != canon {
+			t.Fatalf("canonical name not a fixpoint: %q -> %q", canon, again)
+		}
+	})
+}
+
 // respell renders s as a semantically-equal but syntactically different
 // flag string, driven by perm: flags emitted in a permuted order with
 // irregular spacing, default-valued flags sometimes elided, -tol in an

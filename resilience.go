@@ -136,7 +136,8 @@ func CatalogNames() []string {
 // SolveOptions configure a resilient solve.
 type SolveOptions struct {
 	// Scheme selects the recovery mechanism: FF, F0, FI, LI, LI-DVFS,
-	// LI(LU), LSI, LSI-DVFS, LSI(QR), CR-M, CR-D, RD, TMR.
+	// LI(LU), LSI, LSI-DVFS, LSI(QR), CR-M, CR-D, CR-2L, LCR, RD, TMR,
+	// ESR.
 	Scheme string
 	// Ranks is the number of simulated MPI processes (default 16).
 	Ranks int
@@ -260,7 +261,7 @@ func Solve(a *Matrix, b []float64, opts SolveOptions) (*Report, error) {
 
 // isCR reports whether the scheme kind needs a checkpoint policy.
 func isCR(k core.SchemeKind) bool {
-	return k == core.CRM || k == core.CRD || k == core.CR2L
+	return k == core.CRM || k == core.CRD || k == core.CR2L || k == core.LCR
 }
 
 // Experiment is a registered paper experiment.

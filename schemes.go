@@ -14,7 +14,7 @@ func SchemeNames() []string {
 		"FF", "F0", "FI",
 		"LI", "LI-DVFS", "LI(LU)",
 		"LSI", "LSI-DVFS", "LSI(QR)",
-		"CR-M", "CR-D", "CR-2L", "RD", "TMR",
+		"CR-M", "CR-D", "CR-2L", "LCR", "RD", "TMR", "ESR",
 	}
 }
 
@@ -45,10 +45,14 @@ func ParseScheme(name string) (core.SchemeSpec, error) {
 		return core.SchemeSpec{Kind: core.CRD}, nil
 	case "CR-2L", "CR2L":
 		return core.SchemeSpec{Kind: core.CR2L}, nil
+	case "LCR":
+		return core.SchemeSpec{Kind: core.LCR}, nil
 	case "RD", "DMR":
 		return core.SchemeSpec{Kind: core.RD}, nil
 	case "TMR":
 		return core.SchemeSpec{Kind: core.TMR}, nil
+	case "ESR":
+		return core.SchemeSpec{Kind: core.ESR}, nil
 	}
 	return core.SchemeSpec{}, fmt.Errorf("resilience: unknown scheme %q (known: %s)",
 		name, strings.Join(SchemeNames(), ", "))

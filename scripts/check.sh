@@ -27,9 +27,10 @@ go test -race ./internal/cluster/... ./internal/solver/... ./internal/experiment
 # flakes surface here instead of once a week in CI.
 go test -race -count=5 ./internal/chaos/... ./internal/service/...
 
-# Chaos: a seeded fault campaign (all eight default schemes, 0-3 faults
-# per scenario, full invariant battery) under the race detector. Any
-# failure prints a replayable '-replay' flag string.
+# Chaos: a seeded fault campaign (all ten default schemes — the paper's
+# eight plus ESR and LCR — 0-3 faults per scenario, full invariant
+# battery) under the race detector. Any failure prints a replayable
+# '-replay' flag string.
 go run -race ./cmd/chaos -n 50 -seed 1
 
 # Scheduler gate: the cooperative runtime must pass the concurrency and
@@ -52,6 +53,7 @@ go test -run '^$' -fuzz '^FuzzSELLFromCSR$' -fuzztime 5s ./internal/sparse
 go test -run '^$' -fuzz '^FuzzPartition$' -fuzztime 5s ./internal/sparse
 go test -run '^$' -fuzz '^FuzzScenarioArgs$' -fuzztime 5s ./internal/chaos
 go test -run '^$' -fuzz '^FuzzCanonicalKey$' -fuzztime 5s ./internal/service
+go test -run '^$' -fuzz '^FuzzSchemeSpec$' -fuzztime 5s ./internal/service
 
 # The hot paths must stay allocation-free with no recorder attached
 # (attaching one may allocate for span storage; that variant is measured
